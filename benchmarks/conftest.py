@@ -1,0 +1,10 @@
+"""Pytest configuration for the benchmark suite."""
+
+import os
+import sys
+
+# Make `import repro` and `import benchmarks._shared` work without install.
+_ROOT = os.path.dirname(os.path.dirname(__file__))
+for path in (os.path.join(_ROOT, "src"), _ROOT):
+    if path not in sys.path:
+        sys.path.insert(0, path)

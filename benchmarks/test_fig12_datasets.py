@@ -1,0 +1,18 @@
+"""Fig. 12 — dataset statistics table (stand-in vs paper originals)."""
+
+from repro.datasets import clear_cache
+from repro.experiments import figure12_table, figure13_table
+
+from benchmarks._shared import FIG_SCALES, record
+
+
+def test_fig12_dataset_statistics(benchmark):
+    def build():
+        clear_cache()
+        return figure12_table(scale=FIG_SCALES["stack"])
+
+    table = benchmark.pedantic(build, rounds=1, iterations=1)
+    record("fig12_datasets", table)
+    record("fig13_parameters", figure13_table())
+    assert "stack" in table
+    assert "2601977" in table  # the paper's Stack vertex count rides along

@@ -1,0 +1,36 @@
+"""Fig. 14 — execution time vs small s (GD-DCCS vs BU-DCCS).
+
+Paper claims reproduced here: (1) every algorithm slows down as ``s``
+grows in the small-``s`` regime (the subset space grows); (2) BU-DCCS is
+1–2 orders of magnitude faster than GD-DCCS.
+"""
+
+from repro.experiments import format_series
+
+from benchmarks._shared import record, series_lines, small_s_rows
+
+
+def test_fig14_time_vs_small_s(benchmark):
+    rows = benchmark.pedantic(
+        lambda: small_s_rows("english") + small_s_rows("stack"),
+        rounds=1, iterations=1,
+    )
+    text = "\n\n".join(
+        format_series(
+            [row for row in rows if row["dataset"] == name],
+            "s", "time_s",
+            title="Fig. 14({}) — time vs small s on {}".format(tag, name),
+        )
+        for tag, name in (("a", "english"), ("b", "stack"))
+    )
+    record("fig14_time_small_s", text)
+
+    for name in ("english", "stack"):
+        lines = series_lines(
+            [row for row in rows if row["dataset"] == name], "s", "time_s"
+        )
+        # Greedy's cost explodes with s; compare the endpoints.
+        assert lines["greedy"][5] > lines["greedy"][1]
+        # BU beats greedy clearly at the default s = 3 and beyond.
+        for s in (3, 4, 5):
+            assert lines["bottom-up"][s] < lines["greedy"][s]

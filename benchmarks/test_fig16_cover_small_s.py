@@ -1,0 +1,36 @@
+"""Fig. 16 — result cover size vs small s.
+
+Paper claims: (1) covers shrink as ``s`` grows (Property 3); (2) BU-DCCS
+covers are comparable to GD-DCCS (1/4- vs (1-1/e)-approximation).
+"""
+
+from repro.experiments import format_series
+
+from benchmarks._shared import record, series_lines, small_s_rows
+
+
+def test_fig16_cover_vs_small_s(benchmark):
+    rows = benchmark.pedantic(
+        lambda: small_s_rows("english") + small_s_rows("stack"),
+        rounds=1, iterations=1,
+    )
+    text = "\n\n".join(
+        format_series(
+            [row for row in rows if row["dataset"] == name],
+            "s", "cover",
+            title="Fig. 16({}) — cover vs small s on {}".format(tag, name),
+        )
+        for tag, name in (("a", "english"), ("b", "stack"))
+    )
+    record("fig16_cover_small_s", text)
+
+    for name in ("english", "stack"):
+        lines = series_lines(
+            [row for row in rows if row["dataset"] == name], "s", "cover"
+        )
+        # Monotone non-increasing in s for greedy (exact enumeration).
+        greedy = [lines["greedy"][s] for s in sorted(lines["greedy"])]
+        assert all(a >= b for a, b in zip(greedy, greedy[1:]))
+        # BU stays within the approximation band of greedy.
+        for s, cover in lines["bottom-up"].items():
+            assert 4 * cover >= lines["greedy"][s]

@@ -1,0 +1,29 @@
+"""Fig. 17 — result cover size vs large s (GD vs BU vs TD)."""
+
+from repro.experiments import format_series
+
+from benchmarks._shared import large_s_rows, record, series_lines
+
+
+def test_fig17_cover_vs_large_s(benchmark):
+    rows = benchmark.pedantic(
+        lambda: large_s_rows("english") + large_s_rows("stack"),
+        rounds=1, iterations=1,
+    )
+    text = "\n\n".join(
+        format_series(
+            [row for row in rows if row["dataset"] == name],
+            "s", "cover",
+            title="Fig. 17({}) — cover vs large s on {}".format(tag, name),
+        )
+        for tag, name in (("a", "english"), ("b", "stack"))
+    )
+    record("fig17_cover_large_s", text)
+
+    for name in ("english", "stack"):
+        lines = series_lines(
+            [row for row in rows if row["dataset"] == name], "s", "cover"
+        )
+        for algorithm in ("bottom-up", "top-down"):
+            for s, cover in lines[algorithm].items():
+                assert 4 * cover >= lines["greedy"][s]

@@ -1,0 +1,30 @@
+"""Fig. 20 — result cover size vs d at small s (Property 2: shrinks)."""
+
+from repro.experiments import format_series
+
+from benchmarks._shared import d_rows, record, series_lines
+
+
+def test_fig20_cover_vs_d_small_s(benchmark):
+    rows = benchmark.pedantic(
+        lambda: d_rows("german", False) + d_rows("english", False),
+        rounds=1, iterations=1,
+    )
+    text = "\n\n".join(
+        format_series(
+            [row for row in rows if row["dataset"] == name],
+            "d", "cover",
+            title="Fig. 20({}) — cover vs d (small s) on {}".format(tag, name),
+        )
+        for tag, name in (("a", "german"), ("b", "english"))
+    )
+    record("fig20_cover_d_small_s", text)
+
+    for name in ("german", "english"):
+        lines = series_lines(
+            [row for row in rows if row["dataset"] == name], "d", "cover"
+        )
+        greedy = [lines["greedy"][d] for d in sorted(lines["greedy"])]
+        assert all(a >= b for a, b in zip(greedy, greedy[1:]))
+        for d, cover in lines["bottom-up"].items():
+            assert 4 * cover >= lines["greedy"][d]

@@ -1,0 +1,28 @@
+"""Fig. 21 — result cover size vs d at large s (GD vs TD)."""
+
+from repro.experiments import format_series
+
+from benchmarks._shared import d_rows, record, series_lines
+
+
+def test_fig21_cover_vs_d_large_s(benchmark):
+    rows = benchmark.pedantic(
+        lambda: d_rows("german", True) + d_rows("english", True),
+        rounds=1, iterations=1,
+    )
+    text = "\n\n".join(
+        format_series(
+            [row for row in rows if row["dataset"] == name],
+            "d", "cover",
+            title="Fig. 21({}) — cover vs d (large s) on {}".format(tag, name),
+        )
+        for tag, name in (("a", "german"), ("b", "english"))
+    )
+    record("fig21_cover_d_large_s", text)
+
+    for name in ("german", "english"):
+        lines = series_lines(
+            [row for row in rows if row["dataset"] == name], "d", "cover"
+        )
+        for d, cover in lines["top-down"].items():
+            assert 4 * cover >= lines["greedy"][d]

@@ -1,0 +1,32 @@
+"""Fig. 22 — execution time vs k at small s (GD vs BU on Wiki, English).
+
+Paper claims: GD's time grows with ``k`` (selection is proportional to
+``k``); BU stays faster and roughly insensitive to ``k``.
+"""
+
+from repro.experiments import format_series
+
+from benchmarks._shared import k_rows, record, series_lines
+
+
+def test_fig22_time_vs_k_small_s(benchmark):
+    rows = benchmark.pedantic(
+        lambda: k_rows("wiki", False) + k_rows("english", False),
+        rounds=1, iterations=1,
+    )
+    text = "\n\n".join(
+        format_series(
+            [row for row in rows if row["dataset"] == name],
+            "k", "time_s",
+            title="Fig. 22({}) — time vs k (small s) on {}".format(tag, name),
+        )
+        for tag, name in (("a", "wiki"), ("b", "english"))
+    )
+    record("fig22_time_k_small_s", text)
+
+    for name in ("wiki", "english"):
+        lines = series_lines(
+            [row for row in rows if row["dataset"] == name], "k", "time_s"
+        )
+        for k, elapsed in lines["bottom-up"].items():
+            assert elapsed < lines["greedy"][k]

@@ -1,0 +1,33 @@
+"""Fig. 24 — result cover size vs k at small s.
+
+Paper claim: the cover grows with ``k`` but saturates (d-CCs overlap a
+lot — the reason diversification matters).
+"""
+
+from repro.experiments import format_series
+
+from benchmarks._shared import k_rows, record, series_lines
+
+
+def test_fig24_cover_vs_k_small_s(benchmark):
+    rows = benchmark.pedantic(
+        lambda: k_rows("wiki", False) + k_rows("english", False),
+        rounds=1, iterations=1,
+    )
+    text = "\n\n".join(
+        format_series(
+            [row for row in rows if row["dataset"] == name],
+            "k", "cover",
+            title="Fig. 24({}) — cover vs k (small s) on {}".format(tag, name),
+        )
+        for tag, name in (("a", "wiki"), ("b", "english"))
+    )
+    record("fig24_cover_k_small_s", text)
+
+    for name in ("wiki", "english"):
+        lines = series_lines(
+            [row for row in rows if row["dataset"] == name], "k", "cover"
+        )
+        greedy = [lines["greedy"][k] for k in sorted(lines["greedy"])]
+        # Non-decreasing in k for the exhaustive greedy selection.
+        assert all(a <= b for a, b in zip(greedy, greedy[1:]))

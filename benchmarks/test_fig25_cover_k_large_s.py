@@ -1,0 +1,28 @@
+"""Fig. 25 — result cover size vs k at large s (GD vs TD)."""
+
+from repro.experiments import format_series
+
+from benchmarks._shared import k_rows, record, series_lines
+
+
+def test_fig25_cover_vs_k_large_s(benchmark):
+    rows = benchmark.pedantic(
+        lambda: k_rows("wiki", True) + k_rows("english", True),
+        rounds=1, iterations=1,
+    )
+    text = "\n\n".join(
+        format_series(
+            [row for row in rows if row["dataset"] == name],
+            "k", "cover",
+            title="Fig. 25({}) — cover vs k (large s) on {}".format(tag, name),
+        )
+        for tag, name in (("a", "wiki"), ("b", "english"))
+    )
+    record("fig25_cover_k_large_s", text)
+
+    for name in ("wiki", "english"):
+        lines = series_lines(
+            [row for row in rows if row["dataset"] == name], "k", "cover"
+        )
+        for k, cover in lines["top-down"].items():
+            assert 4 * cover >= lines["greedy"][k]

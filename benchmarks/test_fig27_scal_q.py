@@ -1,0 +1,30 @@
+"""Fig. 27 — scalability vs layer fraction q on Stack.
+
+Paper claims: time grows with ``q`` for every algorithm, and GD-DCCS
+grows much faster than the search algorithms (its candidate family is
+``binom(l, s)``).
+"""
+
+from repro.experiments import format_series
+
+from benchmarks._shared import q_rows, record, series_lines
+
+
+def test_fig27_time_vs_q(benchmark):
+    rows = benchmark.pedantic(q_rows, rounds=1, iterations=1)
+    small = [row for row in rows if row["algorithm"] != "top-down"]
+    large = [row for row in rows if row["algorithm"] == "top-down"]
+    text = "\n\n".join((
+        format_series(small, "q", "time_s",
+                      title="Fig. 27(a) — time vs q on stack (small s)"),
+        format_series(large, "q", "time_s",
+                      title="Fig. 27(b) — time vs q on stack (large s)"),
+    ))
+    record("fig27_scal_q", text)
+
+    lines = series_lines(small, "q", "time_s")
+    assert lines["greedy"][1.0] > lines["greedy"][0.2]
+    # GD grows faster than BU from q=0.2 to q=1.0.
+    gd_growth = lines["greedy"][1.0] / max(lines["greedy"][0.2], 1e-9)
+    bu_growth = lines["bottom-up"][1.0] / max(lines["bottom-up"][0.2], 1e-9)
+    assert gd_growth > bu_growth

@@ -1,0 +1,26 @@
+"""Fig. 28 — effects of the preprocessing methods (No-VD/No-SL/No-IR/No-Pre).
+
+Paper claim: every preprocessing method improves BU-DCCS (small s) and
+TD-DCCS (large s); disabling all of them is the slowest configuration.
+"""
+
+from repro.experiments import format_table
+
+from benchmarks._shared import preprocessing_rows, record
+
+
+def test_fig28_preprocessing_ablation(benchmark):
+    rows = benchmark.pedantic(preprocessing_rows, rounds=1, iterations=1)
+    text = format_table(
+        rows,
+        ["dataset", "method", "s", "variant", "time_s", "cover",
+         "dcc_calls"],
+        title="Fig. 28 — preprocessing ablation",
+    )
+    record("fig28_preprocessing", text)
+
+    # Full preprocessing should not lose to the all-off variant on the
+    # sum over datasets/regimes (individual points can be noisy).
+    full_time = sum(r["time_s"] for r in rows if r["variant"] == "full")
+    nopre_time = sum(r["time_s"] for r in rows if r["variant"] == "No-Pre")
+    assert full_time < nopre_time

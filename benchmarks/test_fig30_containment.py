@@ -1,0 +1,25 @@
+"""Fig. 30 — distribution of |Q ∩ Cov(R_C)| over quasi-clique sizes.
+
+Paper claim: the mass concentrates at full containment — most
+quasi-cliques live entirely inside the d-CC cover.
+"""
+
+from repro.experiments import figure30_table
+
+from benchmarks._shared import fig30_payload, record
+
+
+def test_fig30_containment_distribution(benchmark):
+    payloads = benchmark.pedantic(
+        lambda: [fig30_payload("ppi"), fig30_payload("author")],
+        rounds=1, iterations=1,
+    )
+    text = "\n\n".join(figure30_table(payload) for payload in payloads)
+    record("fig30_containment", text)
+
+    for payload in payloads:
+        # The bulk of quasi-cliques is (almost) fully contained.
+        assert payload["fully_contained"] >= 0.5
+        for size, fractions in payload["distribution"].items():
+            top_two = fractions.get(size, 0.0) + fractions.get(size - 1, 0.0)
+            assert top_two >= 0.5

@@ -1,0 +1,31 @@
+"""Fig. 31 — cover difference classes on Author (red/green/blue).
+
+The paper's drawing becomes numbers: sizes of the three vertex classes
+and their average within-class degree.  Claims: the d-CC-only (green)
+vertices are densely connected; the quasi-clique-only (blue) vertices are
+sparse by comparison.
+"""
+
+from benchmarks._shared import fig31_payload, record
+
+
+def test_fig31_cover_difference(benchmark):
+    payload = benchmark.pedantic(fig31_payload, rounds=1, iterations=1)
+    lines = [
+        "Fig. 31 — cover difference on {} (d={})".format(
+            payload["dataset"], payload["d"]
+        ),
+        "both (red): {}   only d-CC (green): {}   only quasi (blue): {}".format(
+            payload["both"], payload["only_dcc"], payload["only_quasi"]
+        ),
+        "avg within-class degree: " + ", ".join(
+            "{}={:.2f}".format(key, value)
+            for key, value in sorted(payload["densities"].items())
+        ),
+    ]
+    record("fig31_cover_diff", "\n".join(lines))
+
+    assert payload["both"] > 0
+    densities = payload["densities"]
+    if payload["only_dcc"] and payload["only_quasi"]:
+        assert densities["only_dcc"] >= densities["only_quasi"]

@@ -1,0 +1,24 @@
+"""Fig. 32 — proportion of protein complexes found (PPI, planted truth).
+
+Paper claims: (1) recovery drops as ``d`` grows (covers shrink);
+(2) BU-DCCS recovers more complexes than MiMAG.
+"""
+
+from repro.experiments import format_table
+
+from benchmarks._shared import fig32_rows, record
+
+
+def test_fig32_complex_recovery(benchmark):
+    rows = benchmark.pedantic(fig32_rows, rounds=1, iterations=1)
+    text = format_table(
+        rows,
+        ["d", "mimag_recovery", "bu_recovery", "complexes"],
+        title="Fig. 32 — protein complexes found (planted ground truth)",
+    )
+    record("fig32_complexes", text)
+
+    for row in rows:
+        assert row["bu_recovery"] >= row["mimag_recovery"]
+    recoveries = [row["bu_recovery"] for row in rows]
+    assert recoveries[0] >= recoveries[-1]

@@ -1,0 +1,66 @@
+"""Algorithm anatomy: watching the three DCCS algorithms work.
+
+Runs GD-DCCS, BU-DCCS and TD-DCCS on the same medium-sized multi-layer
+graph at a small and a large support threshold, and prints the search
+counters: candidate d-CC computations, level-s candidates offered,
+subtrees pruned, vertices deleted by preprocessing.  This is the paper's
+Section IV/V story in numbers: where the bottom-up tree saves work, why
+it degrades for large ``s``, and how the top-down potential sets fix it.
+
+Run with::
+
+    python examples/algorithm_anatomy.py
+"""
+
+from repro.core import search_dccs
+from repro.datasets import load
+
+
+def report(graph, d, s, k, methods):
+    print("\nparameters: d={}, s={}, k={}".format(d, s, k))
+    header = "{:>10s} {:>9s} {:>7s} {:>10s} {:>11s} {:>8s} {:>8s}".format(
+        "algorithm", "time(s)", "cover", "dCC calls", "candidates",
+        "pruned", "deleted",
+    )
+    print(header)
+    print("-" * len(header))
+    for method in methods:
+        result = search_dccs(graph, d, s, k, method=method)
+        stats = result.stats
+        print("{:>10s} {:>9.3f} {:>7d} {:>10d} {:>11d} {:>8d} {:>8d}".format(
+            result.algorithm, result.elapsed, result.cover_size,
+            stats.dcc_calls, stats.candidates_generated,
+            stats.candidates_pruned, stats.vertices_deleted,
+        ))
+
+
+def main():
+    dataset = load("english", scale=0.5)
+    graph = dataset.graph
+    print("dataset:", graph)
+    num_layers = graph.num_layers
+
+    print("\n=== small support (s < l/2): bottom-up territory ===")
+    report(graph, d=4, s=3, k=10, methods=("greedy", "bottom-up"))
+    print("\nGD-DCCS computed one d-CC per layer triple — binom({}, 3) "
+          "candidates.  BU-DCCS pruned most of that tree.".format(num_layers))
+
+    print("\n=== large support (s >= l/2): top-down territory ===")
+    report(
+        graph, d=4, s=num_layers - 2, k=10,
+        methods=("greedy", "bottom-up", "top-down"),
+    )
+    print("\nFor s = l - 2 the bottom-up tree must descend {} levels "
+          "before any candidate appears, so it does more work than the "
+          "exhaustive greedy; the top-down search starts at the full "
+          "layer set and prunes with potential vertex sets "
+          "instead.".format(num_layers - 2))
+
+    print("\n=== the auto dispatcher picks the right tool ===")
+    for s in (2, num_layers - 1):
+        result = search_dccs(graph, d=4, s=s, k=10, method="auto")
+        print("  s={:>2d} -> {}".format(s, result.algorithm))
+
+
+if __name__ == "__main__":
+    main()

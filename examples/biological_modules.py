@@ -1,0 +1,73 @@
+"""Biological module discovery (Application 1 of the paper).
+
+A protein-protein interaction network whose layers are different
+detection methods: a vertex group is a convincing biological module only
+if it is densely connected on several layers at once.  This example
+
+1. loads the PPI stand-in dataset (planted complexes as ground truth),
+2. finds the top-k diversified d-CCs,
+3. measures how many known complexes each approach recovers, and
+4. contrasts with the quasi-clique baseline (MiMAG).
+
+Run with::
+
+    python examples/biological_modules.py
+"""
+
+from repro.baselines import mimag
+from repro.core import search_dccs
+from repro.datasets import load
+from repro.metrics import (
+    complex_recovery_rate,
+    f1_score,
+    precision,
+    recall,
+)
+
+
+def main():
+    dataset = load("ppi")
+    graph = dataset.graph
+    print("PPI stand-in:", graph)
+    print("planted complexes (ground truth):", len(dataset.complexes))
+
+    d, s, k = 3, graph.num_layers // 2, 10
+
+    print("\n-- d-coherent cores ({}-CC on >= {} layers) --".format(d, s))
+    result = search_dccs(graph, d, s, k, method="bottom-up")
+    print("found {} modules covering {} proteins in {:.3f}s".format(
+        len(result.sets), result.cover_size, result.elapsed
+    ))
+    for layers, members in zip(result.labels, result.sets):
+        print("  module on layers {}: {} proteins".format(
+            layers, len(members)
+        ))
+    dcc_recovery = complex_recovery_rate(dataset.complexes, result.sets)
+    print("complex recovery: {:.1%}".format(dcc_recovery))
+
+    print("\n-- quasi-clique baseline (MiMAG-style, gamma=0.8) --")
+    quasi = mimag(
+        graph, gamma=0.8, min_size=d + 1, min_support=s,
+        node_budget=15000,
+    )
+    print("found {} diversified quasi-cliques covering {} proteins "
+          "in {:.3f}s{}".format(
+              len(quasi.clusters), quasi.cover_size, quasi.elapsed,
+              " (truncated)" if quasi.truncated else "",
+          ))
+    quasi_recovery = complex_recovery_rate(dataset.complexes, quasi.clusters)
+    print("complex recovery: {:.1%}".format(quasi_recovery))
+
+    print("\n-- agreement between the two notions --")
+    print("precision={:.2f} recall={:.2f} f1={:.2f}".format(
+        precision(quasi.clusters, result.sets),
+        recall(quasi.clusters, result.sets),
+        f1_score(quasi.clusters, result.sets),
+    ))
+    print("\nThe d-CC modules are larger and recover at least as many "
+          "complexes — the paper's Fig. 32 conclusion.")
+    assert dcc_recovery >= quasi_recovery
+
+
+if __name__ == "__main__":
+    main()

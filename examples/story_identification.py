@@ -1,0 +1,64 @@
+"""Story identification in social media (Application 2 of the paper).
+
+Each layer is a snapshot graph of entity co-occurrence at one moment; a
+"story" is a group of entities densely associated across several recent
+snapshots.  This example generates a stream of snapshots with planted
+stories (born and retired over time), then uses DCCS to pull the dominant
+stories out — including which time window each story spans, read off the
+layer labels of the reported d-CCs.
+
+Run with::
+
+    python examples/story_identification.py
+"""
+
+from repro.core import search_dccs
+from repro.graph import temporal_snapshots
+
+
+def main():
+    num_snapshots = 12
+    graph, planted = temporal_snapshots(
+        num_vertices=150,
+        num_layers=num_snapshots,
+        events_per_layer=4,
+        entities_per_event=7,
+        churn=0.25,
+        seed=42,
+        name="tweet-stream",
+    )
+    print("snapshot stream:", graph)
+    durable = [
+        (members, window) for members, window in planted
+        if window[1] - window[0] + 1 >= 4
+    ]
+    print("planted stories lasting >= 4 snapshots:", len(durable))
+
+    # A story must recur on at least 4 snapshots with every entity linked
+    # to >= 3 others — reject one-off bursts and loose associations.
+    d, s, k = 3, 4, 6
+    result = search_dccs(graph, d, s, k)
+    print("\ntop-{} diversified stories (d={}, s={}):".format(k, d, s))
+    for layers, members in zip(result.labels, result.sets):
+        window = (min(layers), max(layers))
+        print("  snapshots {:>2d}-{:<2d}: {} entities  {}".format(
+            window[0], window[1], len(members),
+            sorted(members)[:8],
+        ))
+
+    # Concurrent stories sharing entities merge into one d-CC (a d-CC is
+    # a maximal dense region, not a single cluster), so the natural
+    # recovery metric is: how many durable planted stories are entirely
+    # inside some reported story?
+    recovered = sum(
+        1 for story, _ in durable
+        if any(set(story) <= members for members in result.sets)
+    )
+    print("\n{}/{} durable planted stories fully recovered inside a "
+          "reported story".format(recovered, len(durable)))
+    assert result.sets, "expected at least one story"
+    assert recovered >= len(durable) // 2
+
+
+if __name__ == "__main__":
+    main()

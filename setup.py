@@ -1,0 +1,11 @@
+"""Setup shim for environments without the `wheel` package.
+
+The project metadata lives in pyproject.toml; this file only exists so
+that `pip install -e .` can fall back to the legacy (non-PEP 660)
+editable-install path on machines where PEP 660 editable wheels cannot
+be built (no `wheel` module, offline).
+"""
+
+from setuptools import setup
+
+setup()

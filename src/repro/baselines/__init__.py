@@ -1,0 +1,30 @@
+"""Baselines: the exact DCCS solver and the quasi-clique comparison."""
+
+from repro.baselines.exact import (
+    brute_force_all_subsets,
+    exact_dccs,
+    max_k_cover_exact,
+    optimal_cover_size,
+)
+from repro.baselines.mimag import MiMAGResult, mimag
+from repro.baselines.quasiclique import (
+    is_cross_graph_quasi_clique,
+    is_quasi_clique,
+    quasi_clique_diameter_bound,
+    quasi_clique_threshold,
+    supporting_layers,
+)
+
+__all__ = [
+    "exact_dccs",
+    "max_k_cover_exact",
+    "optimal_cover_size",
+    "brute_force_all_subsets",
+    "mimag",
+    "MiMAGResult",
+    "is_quasi_clique",
+    "is_cross_graph_quasi_clique",
+    "supporting_layers",
+    "quasi_clique_threshold",
+    "quasi_clique_diameter_bound",
+]

@@ -1,0 +1,76 @@
+"""γ-quasi-cliques and cross-graph quasi-cliques (Section I and [4], [11]).
+
+A vertex set ``Q`` is a γ-quasi-clique on a graph when every member is
+adjacent to at least ``γ (|Q| − 1)`` other members; it is a *cross-graph*
+quasi-clique when that holds on every graph of a collection.  These
+predicates are what the paper's experimental comparison (Figs. 29–31)
+evaluates the d-CC notion against, and they anchor the MiMAG-style miner
+in :mod:`repro.baselines.mimag`.
+"""
+
+import math
+
+from repro.utils.errors import ParameterError
+
+
+def quasi_clique_threshold(gamma, size):
+    """The minimum within-set degree ``⌈γ (size − 1)⌉`` for a member.
+
+    "Adjacent to at least ``γ(|Q| − 1)`` vertices" involves an integral
+    count, so the real-valued bound rounds up.
+    """
+    if not 0.0 <= gamma <= 1.0:
+        raise ParameterError("gamma must be in [0, 1], got {}".format(gamma))
+    return math.ceil(gamma * (size - 1) - 1e-12)
+
+
+def is_quasi_clique(graph, layer, vertices, gamma):
+    """Whether ``vertices`` is a γ-quasi-clique on one layer of ``graph``."""
+    members = set(vertices)
+    if not members:
+        return False
+    needed = quasi_clique_threshold(gamma, len(members))
+    adjacency = graph.adjacency(layer)
+    for vertex in members:
+        if vertex not in adjacency:
+            return False
+        if len(adjacency[vertex] & members) < needed:
+            return False
+    return True
+
+
+def supporting_layers(graph, vertices, gamma):
+    """The layers on which ``vertices`` is a γ-quasi-clique."""
+    return [
+        layer for layer in graph.layers()
+        if is_quasi_clique(graph, layer, vertices, gamma)
+    ]
+
+
+def is_cross_graph_quasi_clique(graph, vertices, gamma, layers=None,
+                                min_support=None):
+    """The cross-graph quasi-clique predicate.
+
+    With ``layers`` given, ``vertices`` must be a γ-quasi-clique on each of
+    them; with ``min_support`` given, on at least that many layers; with
+    neither, on every layer of the graph (the classic definition of
+    [11], [19]).
+    """
+    if layers is not None:
+        return all(
+            is_quasi_clique(graph, layer, vertices, gamma) for layer in layers
+        )
+    support = len(supporting_layers(graph, vertices, gamma))
+    if min_support is not None:
+        return support >= min_support
+    return support == graph.num_layers
+
+
+def quasi_clique_diameter_bound(gamma):
+    """The diameter guarantee of [11]: at most 2 when ``γ >= 0.5``.
+
+    Returns ``2`` for γ >= 0.5 and ``None`` (unbounded) otherwise; tests
+    use it to demonstrate the small-diameter limitation the introduction
+    criticises.
+    """
+    return 2 if gamma >= 0.5 else None

@@ -1,0 +1,337 @@
+"""Command-line interface: ``repro-dccs`` (or ``python -m repro``).
+
+Subcommands
+-----------
+``info``
+    Print statistics of a graph file or a named stand-in dataset.
+``search``
+    Run DCCS on a graph and print the reported d-CCs.
+``datasets``
+    Print the Fig. 12 stand-in/paper statistics table.
+``figure``
+    Reproduce one of the paper's figures by number.
+"""
+
+import argparse
+import sys
+
+from repro.core.api import search_dccs
+from repro.datasets import DATASET_NAMES, load
+from repro.experiments import (
+    figure12_table,
+    figure13_table,
+    figure29,
+    figure30,
+    figure30_table,
+    figure31,
+    figure32,
+    format_series,
+    format_table,
+    preprocessing_ablation,
+    vary_d,
+    vary_k,
+    vary_large_s,
+    vary_p,
+    vary_q,
+    vary_small_s,
+)
+from repro.graph.io import read_edge_list, read_json
+
+
+def _load_graph(source, scale, seed):
+    """A dataset name, a ``.json`` file or a layered edge-list file."""
+    if source in DATASET_NAMES:
+        return load(source, scale=scale, seed=seed).graph
+    if source.endswith(".json"):
+        return read_json(source)
+    return read_edge_list(source)
+
+
+def _cmd_info(args):
+    graph = _load_graph(args.graph, args.scale, args.seed)
+    summary = graph.summary()
+    for key, value in summary.items():
+        print("{}: {}".format(key, value))
+    return 0
+
+
+def _cmd_search(args):
+    graph = _load_graph(args.graph, args.scale, args.seed)
+    result = search_dccs(
+        graph, args.d, args.s, args.k, method=args.method, seed=args.seed
+    )
+    print(
+        "{}: {} d-CCs, cover {} vertices, {:.3f}s, {} dCC computations".format(
+            result.algorithm, len(result.sets), result.cover_size,
+            result.elapsed, result.stats.dcc_calls,
+        )
+    )
+    for label, members in zip(result.labels, result.sets):
+        shown = ", ".join(str(v) for v in sorted(members, key=str)[:12])
+        suffix = ", ..." if len(members) > 12 else ""
+        print("  layers {} | {} vertices: {}{}".format(
+            label, len(members), shown, suffix
+        ))
+    return 0
+
+
+def _cmd_datasets(args):
+    print(figure12_table(scale=args.scale, seed=args.seed))
+    print()
+    print(figure13_table())
+    return 0
+
+
+_FIGURES = {}
+
+
+def _figure(number):
+    def register(fn):
+        _FIGURES[number] = fn
+        return fn
+    return register
+
+
+@_figure(14)
+def _fig14(args):
+    rows = []
+    for name in ("english", "stack"):
+        rows += vary_small_s(name, scale=args.scale, seed=args.seed)
+    return format_series(rows, "s", "time_s", title="Fig. 14 — time vs small s")
+
+
+@_figure(15)
+def _fig15(args):
+    rows = []
+    for name in ("english", "stack"):
+        rows += vary_large_s(name, scale=args.scale, seed=args.seed)
+    return format_series(rows, "s", "time_s", title="Fig. 15 — time vs large s")
+
+
+@_figure(16)
+def _fig16(args):
+    rows = []
+    for name in ("english", "stack"):
+        rows += vary_small_s(name, scale=args.scale, seed=args.seed)
+    return format_series(rows, "s", "cover", title="Fig. 16 — cover vs small s")
+
+
+@_figure(17)
+def _fig17(args):
+    rows = []
+    for name in ("english", "stack"):
+        rows += vary_large_s(name, scale=args.scale, seed=args.seed)
+    return format_series(rows, "s", "cover", title="Fig. 17 — cover vs large s")
+
+
+@_figure(18)
+def _fig18(args):
+    rows = []
+    for name in ("german", "english"):
+        rows += vary_d(name, large_s=False, scale=args.scale, seed=args.seed)
+    return format_series(rows, "d", "time_s",
+                         title="Fig. 18 — time vs d (small s)")
+
+
+@_figure(19)
+def _fig19(args):
+    rows = []
+    for name in ("german", "english"):
+        rows += vary_d(name, large_s=True, scale=args.scale, seed=args.seed)
+    return format_series(rows, "d", "time_s",
+                         title="Fig. 19 — time vs d (large s)")
+
+
+@_figure(20)
+def _fig20(args):
+    rows = []
+    for name in ("german", "english"):
+        rows += vary_d(name, large_s=False, scale=args.scale, seed=args.seed)
+    return format_series(rows, "d", "cover",
+                         title="Fig. 20 — cover vs d (small s)")
+
+
+@_figure(21)
+def _fig21(args):
+    rows = []
+    for name in ("german", "english"):
+        rows += vary_d(name, large_s=True, scale=args.scale, seed=args.seed)
+    return format_series(rows, "d", "cover",
+                         title="Fig. 21 — cover vs d (large s)")
+
+
+@_figure(22)
+def _fig22(args):
+    rows = []
+    for name in ("wiki", "english"):
+        rows += vary_k(name, large_s=False, scale=args.scale, seed=args.seed)
+    return format_series(rows, "k", "time_s",
+                         title="Fig. 22 — time vs k (small s)")
+
+
+@_figure(23)
+def _fig23(args):
+    rows = []
+    for name in ("wiki", "english"):
+        rows += vary_k(name, large_s=True, scale=args.scale, seed=args.seed)
+    return format_series(rows, "k", "time_s",
+                         title="Fig. 23 — time vs k (large s)")
+
+
+@_figure(24)
+def _fig24(args):
+    rows = []
+    for name in ("wiki", "english"):
+        rows += vary_k(name, large_s=False, scale=args.scale, seed=args.seed)
+    return format_series(rows, "k", "cover",
+                         title="Fig. 24 — cover vs k (small s)")
+
+
+@_figure(25)
+def _fig25(args):
+    rows = []
+    for name in ("wiki", "english"):
+        rows += vary_k(name, large_s=True, scale=args.scale, seed=args.seed)
+    return format_series(rows, "k", "cover",
+                         title="Fig. 25 — cover vs k (large s)")
+
+
+@_figure(26)
+def _fig26(args):
+    rows = vary_p("stack", scale=args.scale, seed=args.seed)
+    rows += vary_p("stack", large_s=True, scale=args.scale, seed=args.seed)
+    return format_series(rows, "p", "time_s", title="Fig. 26 — time vs p")
+
+
+@_figure(27)
+def _fig27(args):
+    rows = vary_q("stack", scale=args.scale, seed=args.seed)
+    rows += vary_q("stack", large_s=True, scale=args.scale, seed=args.seed)
+    return format_series(rows, "q", "time_s", title="Fig. 27 — time vs q")
+
+
+@_figure(28)
+def _fig28(args):
+    rows = []
+    for name in ("wiki", "english"):
+        rows += preprocessing_ablation(name, large_s=False,
+                                       scale=args.scale, seed=args.seed)
+        rows += preprocessing_ablation(name, large_s=True,
+                                       scale=args.scale, seed=args.seed)
+    return format_table(
+        rows,
+        ["dataset", "method", "s", "variant", "time_s", "cover"],
+        title="Fig. 28 — preprocessing ablation",
+    )
+
+
+@_figure(29)
+def _fig29(args):
+    rows = figure29(scale=min(1.0, args.scale * 2))
+    return format_table(
+        rows,
+        ["dataset", "d", "mimag_time_s", "bu_time_s", "mimag_size",
+         "bu_size", "precision", "recall", "f1"],
+        title="Fig. 29 — MiMAG vs BU-DCCS",
+    )
+
+
+@_figure(30)
+def _fig30(args):
+    blocks = []
+    for name in ("ppi", "author"):
+        blocks.append(figure30_table(figure30(name)))
+    return "\n\n".join(blocks)
+
+
+@_figure(31)
+def _fig31(args):
+    payload = figure31()
+    lines = [
+        "Fig. 31 — cover difference on {} (d={})".format(
+            payload["dataset"], payload["d"]
+        ),
+        "both (red): {}  only d-CC (green): {}  only quasi (blue): {}".format(
+            payload["both"], payload["only_dcc"], payload["only_quasi"]
+        ),
+        "avg within-class degree: " + ", ".join(
+            "{}={:.2f}".format(key, value)
+            for key, value in payload["densities"].items()
+        ),
+    ]
+    return "\n".join(lines)
+
+
+@_figure(32)
+def _fig32(args):
+    rows = figure32()
+    return format_table(
+        rows,
+        ["d", "mimag_recovery", "bu_recovery", "complexes"],
+        title="Fig. 32 — protein complexes found",
+    )
+
+
+def _cmd_figure(args):
+    if args.number == 12:
+        print(figure12_table(scale=args.scale, seed=args.seed))
+        return 0
+    if args.number == 13:
+        print(figure13_table())
+        return 0
+    fn = _FIGURES.get(args.number)
+    if fn is None:
+        print("no figure {} in the paper's evaluation".format(args.number),
+              file=sys.stderr)
+        return 2
+    print(fn(args))
+    return 0
+
+
+def build_parser():
+    """Construct the argparse parser (exposed for the CLI tests)."""
+    common = argparse.ArgumentParser(add_help=False)
+    common.add_argument("--scale", type=float, default=0.3,
+                        help="stand-in dataset scale (default 0.3)")
+    common.add_argument("--seed", type=int, default=0)
+
+    parser = argparse.ArgumentParser(
+        prog="repro-dccs",
+        description="Diversified coherent core search on multi-layer graphs",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    info = sub.add_parser("info", parents=[common],
+                          help="print graph statistics")
+    info.add_argument("graph", help="dataset name or graph file")
+    info.set_defaults(fn=_cmd_info)
+
+    search = sub.add_parser("search", parents=[common], help="run DCCS")
+    search.add_argument("graph", help="dataset name or graph file")
+    search.add_argument("-d", type=int, default=4)
+    search.add_argument("-s", type=int, default=3)
+    search.add_argument("-k", type=int, default=10)
+    search.add_argument("--method", default="auto",
+                        choices=("auto", "greedy", "bottom-up", "top-down"))
+    search.set_defaults(fn=_cmd_search)
+
+    datasets = sub.add_parser("datasets", parents=[common],
+                              help="print the Fig. 12/13 tables")
+    datasets.set_defaults(fn=_cmd_datasets)
+
+    figure = sub.add_parser("figure", parents=[common],
+                            help="reproduce a paper figure")
+    figure.add_argument("number", type=int)
+    figure.set_defaults(fn=_cmd_figure)
+    return parser
+
+
+def main(argv=None):
+    """CLI entry point."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

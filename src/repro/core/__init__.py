@@ -1,0 +1,71 @@
+"""The paper's core contribution: d-CCs and the three DCCS algorithms."""
+
+from repro.core.api import choose_method, search_dccs
+from repro.core.bottomup import bu_dccs
+from repro.core.coverage import DiversifiedTopK
+from repro.core.dcc import (
+    coherent_core,
+    coherent_core_binsort,
+    enumerate_candidates,
+    is_coherent_dense,
+    per_layer_cores,
+)
+from repro.core.dcore import core_decomposition, core_sizes_by_threshold, d_core
+from repro.core.dynamic import CoherentCoreTracker
+from repro.core.greedy import gd_dccs, greedy_max_k_cover
+from repro.core.hierarchy import (
+    coherent_core_hierarchy,
+    coherent_core_numbers,
+    coherent_degeneracy,
+    densest_coherent_core,
+    suggest_degree_threshold,
+)
+from repro.core.index import CoreHierarchyIndex
+from repro.core.maintain import MultiLayerCoreMaintainer
+from repro.core.initk import init_topk
+from repro.core.preprocess import (
+    PreprocessResult,
+    compute_support,
+    order_layers,
+    vertex_deletion,
+)
+from repro.core.refine import refine_core, refine_potential, split_layer_classes
+from repro.core.result import DCCSResult
+from repro.core.stats import SearchStats
+from repro.core.topdown import td_dccs
+
+__all__ = [
+    "search_dccs",
+    "choose_method",
+    "gd_dccs",
+    "bu_dccs",
+    "td_dccs",
+    "coherent_core",
+    "coherent_core_binsort",
+    "is_coherent_dense",
+    "per_layer_cores",
+    "enumerate_candidates",
+    "d_core",
+    "core_decomposition",
+    "core_sizes_by_threshold",
+    "DiversifiedTopK",
+    "DCCSResult",
+    "SearchStats",
+    "CoreHierarchyIndex",
+    "MultiLayerCoreMaintainer",
+    "CoherentCoreTracker",
+    "coherent_core_numbers",
+    "coherent_core_hierarchy",
+    "coherent_degeneracy",
+    "densest_coherent_core",
+    "suggest_degree_threshold",
+    "init_topk",
+    "vertex_deletion",
+    "compute_support",
+    "order_layers",
+    "PreprocessResult",
+    "refine_core",
+    "refine_potential",
+    "split_layer_classes",
+    "greedy_max_k_cover",
+]

@@ -1,0 +1,65 @@
+"""The unified public entry point for diversified coherent core search.
+
+:func:`search_dccs` hides the choice between the three algorithms of the
+paper behind one call.  The default ``method="auto"`` applies the paper's
+own guidance (end of Section I): the bottom-up search wins for
+``s < l/2``, the top-down search for ``s >= l/2``.
+"""
+
+from repro.core.bottomup import bu_dccs
+from repro.core.greedy import gd_dccs
+from repro.core.topdown import td_dccs
+from repro.utils.errors import ParameterError
+
+_METHODS = ("auto", "greedy", "bottom-up", "top-down")
+
+
+def choose_method(num_layers, s):
+    """The paper's dispatch rule: BU for ``s < l/2``, TD otherwise."""
+    return "bottom-up" if s < num_layers / 2 else "top-down"
+
+
+def search_dccs(graph, d, s, k, method="auto", **options):
+    """Find the top-k diversified d-CCs of ``graph`` on ``s`` layers.
+
+    Parameters
+    ----------
+    graph:
+        A :class:`~repro.graph.multilayer.MultiLayerGraph`.
+    d:
+        Minimum degree inside the reported subgraphs.
+    s:
+        Minimum support — the number of layers each d-CC must recur on.
+    k:
+        Number of diversified d-CCs to report.
+    method:
+        ``"auto"`` (default), ``"greedy"``, ``"bottom-up"`` or
+        ``"top-down"``.
+    options:
+        Forwarded to the chosen algorithm (preprocessing and pruning
+        switches, ``seed`` for top-down, ``stats``).
+
+    Returns
+    -------
+    :class:`~repro.core.result.DCCSResult`
+
+    Examples
+    --------
+    >>> from repro.graph import paper_figure1_graph
+    >>> result = search_dccs(paper_figure1_graph(), d=3, s=2, k=2)
+    >>> result.cover_size    # the union of C_{1,3} and C_{2,4}
+    13
+    """
+    if method not in _METHODS:
+        raise ParameterError(
+            "method must be one of {}, got {!r}".format(_METHODS, method)
+        )
+    if method == "auto":
+        method = choose_method(graph.num_layers, s)
+    if method == "greedy":
+        options.pop("seed", None)
+        return gd_dccs(graph, d, s, k, **options)
+    if method == "bottom-up":
+        options.pop("seed", None)
+        return bu_dccs(graph, d, s, k, **options)
+    return td_dccs(graph, d, s, k, **options)

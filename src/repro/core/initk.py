@@ -1,0 +1,67 @@
+"""Greedy initialisation of the top-k result set (Appendix D, Fig. 37).
+
+``InitTopK`` fills ``R`` with ``k`` quickly computed d-CCs before the real
+search begins, because the Eq. (1) pruning rules of both search algorithms
+only fire once ``|R| = k``.  Each seed is built by
+
+1. picking the layer whose d-core adds the most new vertices to the
+   current cover,
+2. greedily intersecting in ``s - 1`` further layers that keep the
+   intersection largest,
+3. peeling the intersection down to the exact d-CC of the chosen layer
+   subset and offering it to ``Update``.
+"""
+
+from repro.core.coverage import DiversifiedTopK
+from repro.core.dcc import coherent_core
+
+
+def init_topk(graph, d, s, k, cores, topk=None, within=None, stats=None):
+    """Seed a :class:`DiversifiedTopK` with ``k`` greedy candidates.
+
+    Parameters
+    ----------
+    cores:
+        Per-layer d-cores (from preprocessing) — ``cores[i] = C^d(G_i)``.
+    topk:
+        An existing result holder to fill; a fresh one is created if absent.
+    within:
+        Optional vertex restriction (the preprocessing ``alive`` set).
+
+    Returns the (possibly new) :class:`DiversifiedTopK`.
+    """
+    if topk is None:
+        topk = DiversifiedTopK(k)
+    num_layers = graph.num_layers
+    for _ in range(k):
+        covered = topk.cover()
+        best_layer = None
+        best_gain = -1
+        for layer in range(num_layers):
+            gain = len(cores[layer] - covered)
+            if gain > best_gain:
+                best_gain = gain
+                best_layer = layer
+        chosen = {best_layer}
+        candidate = set(cores[best_layer])
+        if within is not None:
+            candidate &= within
+        for _ in range(s - 1):
+            best_layer = None
+            best_size = -1
+            for layer in range(num_layers):
+                if layer in chosen:
+                    continue
+                size = len(candidate & cores[layer])
+                if size > best_size:
+                    best_size = size
+                    best_layer = layer
+            chosen.add(best_layer)
+            candidate &= cores[best_layer]
+        core = coherent_core(
+            graph, sorted(chosen), d, within=candidate, stats=stats
+        )
+        accepted = topk.try_update(core, label=tuple(sorted(chosen)))
+        if stats is not None and accepted:
+            stats.updates_accepted += 1
+    return topk

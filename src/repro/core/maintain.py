@@ -1,0 +1,127 @@
+"""Incremental maintenance of per-layer d-cores under vertex deletion.
+
+Both the vertex-deletion preprocessing (Fig. 7, lines 1–7) and the
+hierarchical index construction (Section V-C) repeatedly delete vertex
+batches and need the d-core of every layer of the *remaining* graph.
+Recomputing each core from scratch per round costs
+``O(rounds · l · (n + m))``; because d-cores only ever shrink under
+deletion, cascade peeling from the deleted vertices gives the same result
+— peeling is confluent, so the order of removals does not matter — for a
+total of ``O(l (n + m))`` over the whole deletion sequence.
+
+:class:`MultiLayerCoreMaintainer` packages that: it owns the per-layer
+core sets, their internal degree counters, and the support counters
+``Num(v)`` (the number of layers whose core contains ``v``).
+"""
+
+from repro.core.dcore import d_core
+
+
+class MultiLayerCoreMaintainer:
+    """Per-layer d-cores and support counts under batched vertex deletion.
+
+    Parameters
+    ----------
+    graph:
+        The multi-layer graph (never mutated).
+    d:
+        The degree threshold.
+    within:
+        Optional initial vertex restriction.
+
+    Attributes
+    ----------
+    alive:
+        The current vertex set (shrinks via :meth:`remove`).
+    cores:
+        ``cores[i]`` — the current d-core of layer ``i`` within ``alive``.
+    support:
+        ``Num(v)`` for every alive vertex (0 when in no core).
+    """
+
+    def __init__(self, graph, d, within=None, stats=None):
+        self.graph = graph
+        self.d = d
+        self.alive = graph.vertices() if within is None else set(within)
+        self.cores = []
+        self._degrees = []
+        for layer in graph.layers():
+            adjacency = graph.adjacency(layer)
+            core = d_core(adjacency, d, within=self.alive)
+            if stats is not None:
+                stats.dcc_calls += 1
+            self.cores.append(core)
+            self._degrees.append({v: len(adjacency[v] & core) for v in core})
+        self.support = {v: 0 for v in self.alive}
+        for core in self.cores:
+            for vertex in core:
+                self.support[vertex] += 1
+
+    def layers_containing(self, vertex):
+        """The label ``L(v)``: layers whose current d-core contains ``v``."""
+        return frozenset(
+            layer for layer, core in enumerate(self.cores) if vertex in core
+        )
+
+    def remove(self, vertices):
+        """Delete ``vertices`` from the graph view; cascade all cores.
+
+        Each deleted vertex leaves ``alive`` and every core containing it;
+        neighbours whose within-core degree drops below ``d`` are peeled
+        out of that core (not out of ``alive``), decrementing their
+        support.  Degenerate input (already-dead vertices) is ignored.
+        """
+        doomed = [v for v in vertices if v in self.alive]
+        for vertex in doomed:
+            self.alive.discard(vertex)
+            self.support.pop(vertex, None)
+        for layer, core in enumerate(self.cores):
+            adjacency = self.graph.adjacency(layer)
+            degrees = self._degrees[layer]
+            queue = []
+            for vertex in doomed:
+                if vertex in core:
+                    core.discard(vertex)
+                    degrees.pop(vertex, None)
+                    queue.extend(
+                        u for u in adjacency[vertex] if u in core
+                    )
+            # Cascade peel: decrement each affected neighbour once per
+            # removed edge; vertices falling below d leave this core only.
+            head = 0
+            while head < len(queue):
+                u = queue[head]
+                head += 1
+                if u not in core:
+                    continue
+                degrees[u] -= 1
+                if degrees[u] < self.d:
+                    core.discard(u)
+                    degrees.pop(u, None)
+                    self.support[u] -= 1
+                    queue.extend(w for w in adjacency[u] if w in core)
+        return doomed
+
+    def check_consistency(self):
+        """Recompute cores/support from scratch and compare (test hook)."""
+        for layer in self.graph.layers():
+            expected = d_core(
+                self.graph.adjacency(layer), self.d, within=self.alive
+            )
+            if expected != self.cores[layer]:
+                raise AssertionError(
+                    "layer {} core drifted: {} vs {}".format(
+                        layer, sorted(self.cores[layer]), sorted(expected)
+                    )
+                )
+        for vertex in self.alive:
+            true_support = sum(
+                1 for core in self.cores if vertex in core
+            )
+            if self.support.get(vertex, 0) != true_support:
+                raise AssertionError(
+                    "support[{!r}] = {} but should be {}".format(
+                        vertex, self.support.get(vertex), true_support
+                    )
+                )
+        return True

@@ -1,0 +1,110 @@
+"""Preprocessing shared by all DCCS algorithms (Section IV-C).
+
+Three methods, each individually switchable so the Fig. 28 ablation can
+disable them one at a time:
+
+* **vertex deletion** — iteratively drop every vertex contained in the
+  d-core of fewer than ``s`` layers (its support ``Num(v)`` is below the
+  threshold, so no size-``s`` d-CC can contain it), recomputing the cores
+  until a fixed point;
+* **sorting layers** — order layers by their d-core size (descending for
+  the bottom-up search, ascending for the top-down search);
+* **result initialisation** — seed the temporary top-k set greedily
+  (:mod:`repro.core.initk`) so Eq. (1) pruning applies from the start.
+"""
+
+from dataclasses import dataclass, field
+
+from repro.core.dcore import d_core
+from repro.core.maintain import MultiLayerCoreMaintainer
+from repro.utils.errors import ParameterError
+
+
+@dataclass
+class PreprocessResult:
+    """Outcome of the vertex-deletion fixed point.
+
+    Attributes
+    ----------
+    alive:
+        Vertices surviving deletion (all have ``Num(v) >= s``).
+    cores:
+        Per-layer d-cores **within** ``alive`` (``cores[i] ⊆ alive``).
+    support:
+        ``Num(v)`` — for each surviving vertex, the number of layers whose
+        d-core contains it.
+    deleted:
+        Number of vertices removed.
+    rounds:
+        Number of recomputation rounds until the fixed point.
+    """
+
+    alive: set
+    cores: list
+    support: dict
+    deleted: int = 0
+    rounds: int = 0
+    extra: dict = field(default_factory=dict)
+
+
+def compute_support(cores):
+    """``Num(v)`` for every vertex appearing in at least one core."""
+    support = {}
+    for core in cores:
+        for vertex in core:
+            support[vertex] = support.get(vertex, 0) + 1
+    return support
+
+
+def vertex_deletion(graph, d, s, enabled=True, stats=None):
+    """Run the vertex-deletion fixed point (lines 1–7 of BU-DCCS, Fig. 7).
+
+    With ``enabled=False`` (the No-VD ablation) the cores are computed once
+    on the full graph and nothing is deleted; the returned ``support`` is
+    still correct for the full graph so the top-down index stays valid.
+    """
+    if s < 1 or s > graph.num_layers:
+        raise ParameterError(
+            "s must be in [1, {}], got {}".format(graph.num_layers, s)
+        )
+    maintainer = MultiLayerCoreMaintainer(graph, d, stats=stats)
+    result = PreprocessResult(
+        alive=maintainer.alive,
+        cores=maintainer.cores,
+        support=maintainer.support,
+    )
+    if not enabled:
+        return result
+
+    while True:
+        result.rounds += 1
+        doomed = [
+            v for v in maintainer.alive
+            if maintainer.support.get(v, 0) < s
+        ]
+        if not doomed:
+            break
+        maintainer.remove(doomed)
+        result.deleted += len(doomed)
+        if stats is not None:
+            stats.vertices_deleted += len(doomed)
+    result.alive = maintainer.alive
+    result.cores = maintainer.cores
+    result.support = maintainer.support
+    return result
+
+
+def order_layers(cores, descending=True, enabled=True):
+    """Layer ids sorted by d-core size (Section IV-C / Section V-D).
+
+    The bottom-up algorithm prefers big-core layers first
+    (``descending=True``); the top-down algorithm removes layers from the
+    tail of the order, so it sorts ascending to shed small-core layers
+    first.  With ``enabled=False`` (the No-SL ablation) the natural order
+    is returned.
+    """
+    layer_ids = list(range(len(cores)))
+    if not enabled:
+        return layer_ids
+    layer_ids.sort(key=lambda layer: len(cores[layer]), reverse=descending)
+    return layer_ids

@@ -1,0 +1,83 @@
+"""The common result object returned by every DCCS algorithm."""
+
+from dataclasses import dataclass, field
+
+from repro.core.stats import SearchStats
+
+
+@dataclass
+class DCCSResult:
+    """Top-k diversified d-CCs plus provenance.
+
+    Attributes
+    ----------
+    sets:
+        The reported d-CCs (list of frozensets, at most ``k``).
+    labels:
+        For each set, the layer subset ``L`` it is the d-CC of (a sorted
+        tuple of layer indices), or ``None`` when unknown.
+    algorithm:
+        ``"greedy"``, ``"bottom-up"``, ``"top-down"`` or ``"exact"``.
+    params:
+        The ``(d, s, k)`` triple the search ran with.
+    stats:
+        The :class:`~repro.core.stats.SearchStats` counters of the run.
+    elapsed:
+        Wall-clock seconds of the run.
+    """
+
+    sets: list
+    labels: list
+    algorithm: str
+    params: tuple
+    stats: SearchStats = field(default_factory=SearchStats)
+    elapsed: float = 0.0
+
+    @property
+    def cover(self):
+        """``Cov(R)`` — the union of the reported sets."""
+        covered = set()
+        for members in self.sets:
+            covered |= members
+        return covered
+
+    @property
+    def cover_size(self):
+        """``|Cov(R)|`` — the paper's accuracy metric."""
+        return len(self.cover)
+
+    def __repr__(self):
+        d, s, k = self.params
+        return (
+            "DCCSResult({}, d={}, s={}, k={}, sets={}, cover={}, "
+            "{:.3f}s)".format(
+                self.algorithm, d, s, k, len(self.sets), self.cover_size,
+                self.elapsed,
+            )
+        )
+
+
+def result_from_topk(topk, algorithm, params, stats, elapsed):
+    """Assemble a :class:`DCCSResult` from a populated DiversifiedTopK.
+
+    Duplicate sets (admitted under Rule 1 to keep the pruning machinery
+    armed) are collapsed here: they contribute nothing to the cover and
+    would only confuse downstream consumers.
+    """
+    seen = set()
+    sets = []
+    labels = []
+    for label, members in topk.labelled_sets():
+        if members in seen:
+            continue
+        seen.add(members)
+        sets.append(members)
+        labels.append(label)
+    return DCCSResult(
+        sets=sets,
+        labels=labels,
+        algorithm=algorithm,
+        params=params,
+        stats=stats,
+        elapsed=elapsed,
+    )

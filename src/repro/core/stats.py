@@ -1,0 +1,66 @@
+"""Instrumentation counters shared by every DCCS algorithm.
+
+The paper's efficiency claims are about *search effort*: BU-DCCS "reduces
+the search space by 80–90 %" relative to GD-DCCS, and TD-DCCS examines even
+fewer candidates for large ``s``.  Wall-clock time in Python is noisy and
+machine-bound, so every algorithm also reports these counters, which make
+the claims checkable deterministically.
+"""
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class SearchStats:
+    """Counters accumulated during one DCCS run.
+
+    Attributes
+    ----------
+    dcc_calls:
+        Number of d-CC (or RefineC) computations performed — the paper's
+        notion of "candidate d-CCs examined".
+    candidates_generated:
+        Candidate d-CCs at level ``s`` that were handed to ``Update``.
+    candidates_pruned:
+        Subtrees cut by Lemmas 2–7 (each counted once at the cut point).
+    updates_accepted:
+        Calls to ``Update`` that changed the temporary result set.
+    vertices_deleted:
+        Vertices removed by the vertex-deletion preprocessing.
+    peel_operations:
+        Individual vertex removals inside peeling loops (a proxy for the
+        ``O(n + m)`` work of the dCC procedure).
+    """
+
+    dcc_calls: int = 0
+    candidates_generated: int = 0
+    candidates_pruned: int = 0
+    updates_accepted: int = 0
+    vertices_deleted: int = 0
+    peel_operations: int = 0
+    extra: dict = field(default_factory=dict)
+
+    def merge(self, other):
+        """Accumulate another stats object into this one."""
+        self.dcc_calls += other.dcc_calls
+        self.candidates_generated += other.candidates_generated
+        self.candidates_pruned += other.candidates_pruned
+        self.updates_accepted += other.updates_accepted
+        self.vertices_deleted += other.vertices_deleted
+        self.peel_operations += other.peel_operations
+        for key, value in other.extra.items():
+            self.extra[key] = self.extra.get(key, 0) + value
+        return self
+
+    def as_dict(self):
+        """A flat dict (counters plus ``extra``) for table rendering."""
+        payload = {
+            "dcc_calls": self.dcc_calls,
+            "candidates_generated": self.candidates_generated,
+            "candidates_pruned": self.candidates_pruned,
+            "updates_accepted": self.updates_accepted,
+            "vertices_deleted": self.vertices_deleted,
+            "peel_operations": self.peel_operations,
+        }
+        payload.update(self.extra)
+        return payload

@@ -1,0 +1,20 @@
+"""Synthetic stand-ins for the paper's six datasets (Fig. 12)."""
+
+from repro.datasets.registry import (
+    DATASET_NAMES,
+    PAPER_STATISTICS,
+    clear_cache,
+    dataset_statistics,
+    load,
+)
+from repro.datasets.synthetic import Dataset, build_standin
+
+__all__ = [
+    "load",
+    "clear_cache",
+    "dataset_statistics",
+    "DATASET_NAMES",
+    "PAPER_STATISTICS",
+    "Dataset",
+    "build_standin",
+]

@@ -1,0 +1,130 @@
+"""Construction of the synthetic stand-in datasets.
+
+See DESIGN.md ("Substitutions"): the paper's six real datasets are not
+redistributable offline, so each is replaced by a planted-community
+multi-layer graph with the same layer count and qualitatively the same
+structure, at a scale a pure-Python implementation can sweep.  The
+construction below controls the features the DCCS algorithms actually
+react to:
+
+* communities recur on layer subsets of varying width (so both the
+  small-``s`` and the large-``s`` experiments have signal);
+* communities overlap in membership (diversification pressure);
+* a sparse Erdős–Rényi background supplies the noise vertices that the
+  vertex-deletion preprocessing exists to remove.
+"""
+
+from dataclasses import dataclass, field
+
+from repro.graph.generators import planted_communities
+from repro.utils.errors import ParameterError
+from repro.utils.rng import make_rng
+
+
+@dataclass
+class Dataset:
+    """A named multi-layer graph plus its planted ground truth.
+
+    Attributes
+    ----------
+    name:
+        Dataset key (``"ppi"``, ``"author"``, ...).
+    graph:
+        The :class:`~repro.graph.multilayer.MultiLayerGraph`.
+    communities:
+        The planted community member sets (frozensets) — ground truth for
+        recovery metrics.
+    complexes:
+        Smaller planted "protein complexes" nested inside communities
+        (only non-empty for the PPI stand-in); ground truth for Fig. 32.
+    params:
+        The generation parameters, for provenance in experiment reports.
+    """
+
+    name: str
+    graph: object
+    communities: list
+    complexes: list = field(default_factory=list)
+    params: dict = field(default_factory=dict)
+
+    def summary(self):
+        """The Fig. 12 statistics row for this dataset."""
+        row = self.graph.summary()
+        row["name"] = self.name
+        row["communities"] = len(self.communities)
+        return row
+
+
+def build_standin(name, num_vertices, num_layers, num_communities,
+                  size_range, span_choices, p_in=0.9,
+                  background_degree=2.0, overlap=0.25,
+                  plant_complexes=False, seed=0):
+    """Build one stand-in dataset.
+
+    Parameters
+    ----------
+    size_range:
+        ``(lo, hi)`` community sizes, sampled uniformly.
+    span_choices:
+        Sequence of layer-span widths to sample from; e.g. for a 15-layer
+        graph, ``(2, 3, 4, 12, 14)`` plants both narrow and broad
+        communities.
+    background_degree:
+        Expected background degree per layer (converted to a G(n, p)
+        probability).
+    overlap:
+        Fraction of each community's members drawn from previously used
+        vertices, creating the overlapping covers diversification needs.
+    plant_complexes:
+        When true, dense sub-blocks ("protein complexes") are planted
+        inside communities and returned as extra ground truth.
+    """
+    if num_vertices < size_range[1]:
+        raise ParameterError("communities cannot be larger than the graph")
+    rng = make_rng(seed)
+    population = list(range(num_vertices))
+    used = []
+    specs = []
+    complex_specs = []
+    for _ in range(num_communities):
+        size = rng.randint(size_range[0], size_range[1])
+        members = set()
+        # Draw a share of members from already-planted vertices so the
+        # candidate d-CCs overlap, then fill up with fresh vertices.
+        if used and overlap > 0:
+            reuse = min(int(size * overlap), len(used))
+            members.update(rng.sample(used, reuse))
+        while len(members) < size:
+            members.add(rng.choice(population))
+        span = rng.choice(list(span_choices))
+        span = min(span, num_layers)
+        start = rng.randint(0, num_layers - span)
+        layers = list(range(start, start + span))
+        specs.append((sorted(members), layers, p_in))
+        used.extend(sorted(members))
+        if plant_complexes and size >= 8:
+            complex_size = rng.randint(3, 6)
+            complex_members = rng.sample(sorted(members), complex_size)
+            complex_specs.append(frozenset(complex_members))
+    background = min(1.0, background_degree / max(1, num_vertices - 1))
+    graph, planted = planted_communities(
+        num_vertices, num_layers, specs,
+        background=background, seed=rng, name=name,
+    )
+    return Dataset(
+        name=name,
+        graph=graph,
+        communities=planted,
+        complexes=complex_specs,
+        params={
+            "num_vertices": num_vertices,
+            "num_layers": num_layers,
+            "num_communities": num_communities,
+            "size_range": size_range,
+            "span_choices": tuple(span_choices),
+            "p_in": p_in,
+            "background_degree": background_degree,
+            "overlap": overlap,
+            "seed": seed,
+        },
+    )

@@ -1,0 +1,83 @@
+"""The evaluation harness: one function per table/figure of Section VI."""
+
+from repro.experiments.ablation import (
+    preprocessing_ablation,
+    pruning_ablation,
+    search_space_reduction,
+)
+from repro.experiments.config import (
+    BENCH_SCALE,
+    DEFAULTS,
+    RANGES,
+    s_large,
+    s_large_values,
+)
+from repro.experiments.quasiclique_cmp import (
+    compare_mimag,
+    figure29,
+    figure30,
+    figure31,
+    figure32,
+)
+from repro.experiments.io import (
+    read_csv,
+    read_jsonl,
+    to_markdown,
+    write_csv,
+    write_jsonl,
+    write_markdown,
+)
+from repro.experiments.runner import measure_point, result_row, sweep
+from repro.experiments.sweeps import (
+    vary_d,
+    vary_k,
+    vary_large_s,
+    vary_p,
+    vary_q,
+    vary_small_s,
+)
+from repro.experiments.tables import (
+    figure12_table,
+    figure13_table,
+    figure30_table,
+    format_series,
+    format_table,
+    pivot_series,
+)
+
+__all__ = [
+    "DEFAULTS",
+    "RANGES",
+    "BENCH_SCALE",
+    "s_large",
+    "s_large_values",
+    "measure_point",
+    "result_row",
+    "sweep",
+    "vary_small_s",
+    "vary_large_s",
+    "vary_d",
+    "vary_k",
+    "vary_p",
+    "vary_q",
+    "preprocessing_ablation",
+    "pruning_ablation",
+    "search_space_reduction",
+    "compare_mimag",
+    "figure29",
+    "figure30",
+    "figure31",
+    "figure32",
+    "format_table",
+    "format_series",
+    "pivot_series",
+    "write_csv",
+    "read_csv",
+    "write_jsonl",
+    "read_jsonl",
+    "to_markdown",
+    "write_markdown",
+    "figure12_table",
+    "figure13_table",
+    "figure30_table",
+]

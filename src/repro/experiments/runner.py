@@ -1,0 +1,58 @@
+"""Shared measurement plumbing for the experiment harness.
+
+Every figure-reproduction function boils down to: take a dataset, sweep
+one parameter, run one or more algorithms per point, and record
+``(time, cover size, search counters)`` rows.  :func:`measure_point` is
+that inner loop; the sweep modules compose it.
+"""
+
+from repro.core.api import search_dccs
+
+
+def measure_point(graph, d, s, k, methods, seed=0, **options):
+    """Run each method once and return one row per method.
+
+    ``options`` are forwarded to :func:`repro.core.search_dccs` (pruning
+    and preprocessing switches for the ablations).
+    """
+    rows = []
+    for method in methods:
+        result = search_dccs(
+            graph, d, s, k, method=method, seed=seed, **options
+        )
+        rows.append(result_row(result, method=method, d=d, s=s, k=k))
+    return rows
+
+
+def result_row(result, **extra):
+    """Flatten a :class:`DCCSResult` into a table row dict."""
+    row = {
+        "algorithm": result.algorithm,
+        "time_s": result.elapsed,
+        "cover": result.cover_size,
+        "sets": len(result.sets),
+        "dcc_calls": result.stats.dcc_calls,
+        "candidates": result.stats.candidates_generated,
+        "pruned": result.stats.candidates_pruned,
+    }
+    row.update(extra)
+    return row
+
+
+def sweep(graph, parameter, values, base, methods, **options):
+    """Sweep ``parameter`` over ``values`` with other params from ``base``.
+
+    ``base`` maps ``d``/``s``/``k`` to their fixed values; the swept
+    parameter overrides its entry.  Returns a flat list of rows with the
+    swept value recorded under the parameter name.
+    """
+    rows = []
+    for value in values:
+        point = dict(base)
+        point[parameter] = value
+        for row in measure_point(
+            graph, point["d"], point["s"], point["k"], methods, **options
+        ):
+            row[parameter] = value
+            rows.append(row)
+    return rows

@@ -1,0 +1,92 @@
+"""Constructors that build :class:`MultiLayerGraph` from other shapes.
+
+The library's own algorithms only ever see :class:`MultiLayerGraph`; these
+helpers are the adapters from the formats users actually hold — per-layer
+edge lists, dictionaries of adjacency, stacks of networkx graphs, or a
+single-layer graph to be replicated.
+"""
+
+from repro.graph.multilayer import MultiLayerGraph
+from repro.utils.errors import ParameterError
+
+
+def from_edge_lists(edge_lists, vertices=(), name=""):
+    """Build a graph from one iterable of ``(u, v)`` pairs per layer.
+
+    >>> g = from_edge_lists([[("a", "b")], [("b", "c")]])
+    >>> g.num_layers
+    2
+    """
+    edge_lists = list(edge_lists)
+    if not edge_lists:
+        raise ParameterError("at least one layer of edges is required")
+    graph = MultiLayerGraph(len(edge_lists), vertices=vertices, name=name)
+    for layer, edges in enumerate(edge_lists):
+        graph.add_edges(layer, edges)
+    return graph
+
+
+def from_adjacency(adjacency_per_layer, name=""):
+    """Build a graph from one ``{vertex: iterable-of-neighbours}`` per layer.
+
+    The input may be asymmetric; edges are symmetrised.
+    """
+    adjacency_per_layer = list(adjacency_per_layer)
+    if not adjacency_per_layer:
+        raise ParameterError("at least one adjacency mapping is required")
+    graph = MultiLayerGraph(len(adjacency_per_layer), name=name)
+    for adjacency in adjacency_per_layer:
+        graph.add_vertices(adjacency.keys())
+    for layer, adjacency in enumerate(adjacency_per_layer):
+        for vertex, neighbors in adjacency.items():
+            for neighbor in neighbors:
+                graph.add_edge(layer, vertex, neighbor)
+    return graph
+
+
+def from_networkx_layers(nx_graphs, name=""):
+    """Stack networkx (or networkx-like) graphs into a multi-layer graph.
+
+    Each input needs only ``.nodes`` and ``.edges`` iterables, so any object
+    with that duck type works; directed inputs are symmetrised.
+    """
+    nx_graphs = list(nx_graphs)
+    if not nx_graphs:
+        raise ParameterError("at least one layer graph is required")
+    graph = MultiLayerGraph(len(nx_graphs), name=name)
+    for nx_graph in nx_graphs:
+        graph.add_vertices(nx_graph.nodes)
+    for layer, nx_graph in enumerate(nx_graphs):
+        for u, v in nx_graph.edges:
+            if u != v:
+                graph.add_edge(layer, u, v)
+    return graph
+
+
+def to_networkx_layers(graph):
+    """Convert each layer of ``graph`` to a :class:`networkx.Graph`.
+
+    Requires networkx; imported lazily so the core library stays
+    dependency-free.
+    """
+    import networkx as nx
+
+    layers = []
+    for layer in graph.layers():
+        nx_graph = nx.Graph()
+        nx_graph.add_nodes_from(graph.vertices())
+        nx_graph.add_edges_from(graph.edges(layer))
+        layers.append(nx_graph)
+    return layers
+
+
+def replicate_layer(edges, num_layers, vertices=(), name=""):
+    """Copy one edge list onto ``num_layers`` identical layers.
+
+    Handy in tests: on a replicated graph every d-CC equals the d-core of
+    the base layer, for every layer subset.
+    """
+    if num_layers < 1:
+        raise ParameterError("num_layers must be positive")
+    edges = list(edges)
+    return from_edge_lists([edges] * num_layers, vertices=vertices, name=name)

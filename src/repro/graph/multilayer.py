@@ -1,0 +1,329 @@
+"""The multi-layer graph substrate (Section II of the paper).
+
+A multi-layer graph ``G = (V, E_1, ..., E_l)`` is a universal vertex set
+``V`` shared by ``l`` simple undirected edge sets.  The paper assumes every
+layer contains the same vertices (a vertex missing from a layer is treated
+as isolated there); :class:`MultiLayerGraph` enforces that invariant by
+construction — adding a vertex adds it to every layer, and adding an edge
+implicitly adds its endpoints.
+
+The representation is one adjacency dictionary per layer mapping each vertex
+to a :class:`set` of neighbours.  This gives O(1) expected-time edge tests,
+O(deg) neighbourhood iteration, and — crucially for the peeling algorithms
+in :mod:`repro.core` — O(1) degree queries, which is what the linear-time
+d-core machinery of Batagelj & Zaversnik needs.
+
+Vertices may be any hashable object (ints, strings, tuples).  Self-loops are
+rejected because the degree-based definitions in the paper are stated for
+simple graphs.
+"""
+
+from repro.utils.errors import LayerIndexError, ParameterError, VertexError
+
+
+class MultiLayerGraph:
+    """An undirected multi-layer graph with a shared vertex set.
+
+    Parameters
+    ----------
+    num_layers:
+        Number of layers ``l >= 1``.  Fixed at construction time.
+    vertices:
+        Optional iterable of initial vertices.
+    name:
+        Optional human-readable name used in ``repr`` and experiment tables.
+
+    Examples
+    --------
+    >>> g = MultiLayerGraph(2, vertices=["a", "b", "c"])
+    >>> g.add_edge(0, "a", "b")
+    >>> g.add_edge(1, "b", "c")
+    >>> sorted(g.neighbors(0, "a"))
+    ['b']
+    >>> g.degree(1, "b")
+    1
+    """
+
+    __slots__ = ("_adj", "_vertices", "name")
+
+    def __init__(self, num_layers, vertices=(), name=""):
+        if num_layers < 1:
+            raise ParameterError(
+                "a multi-layer graph needs at least one layer, got {}".format(num_layers)
+            )
+        self._vertices = set()
+        self._adj = [dict() for _ in range(num_layers)]
+        self.name = name
+        self.add_vertices(vertices)
+
+    # ------------------------------------------------------------------
+    # basic accessors
+    # ------------------------------------------------------------------
+
+    @property
+    def num_layers(self):
+        """The number of layers ``l(G)``."""
+        return len(self._adj)
+
+    @property
+    def num_vertices(self):
+        """The size of the universal vertex set ``|V(G)|``."""
+        return len(self._vertices)
+
+    def vertices(self):
+        """Return a new set with all vertices of the graph."""
+        return set(self._vertices)
+
+    def __contains__(self, vertex):
+        return vertex in self._vertices
+
+    def __len__(self):
+        return len(self._vertices)
+
+    def __iter__(self):
+        return iter(self._vertices)
+
+    def layers(self):
+        """Return ``range(num_layers)`` — the valid layer indices."""
+        return range(self.num_layers)
+
+    def _check_layer(self, layer):
+        if not 0 <= layer < self.num_layers:
+            raise LayerIndexError(layer, self.num_layers)
+
+    def _check_vertex(self, vertex):
+        if vertex not in self._vertices:
+            raise VertexError(vertex)
+
+    # ------------------------------------------------------------------
+    # mutation
+    # ------------------------------------------------------------------
+
+    def add_vertex(self, vertex):
+        """Add ``vertex`` to every layer (isolated where no edges exist)."""
+        if vertex not in self._vertices:
+            self._vertices.add(vertex)
+            for adj in self._adj:
+                adj[vertex] = set()
+
+    def add_vertices(self, vertices):
+        """Add every vertex from the iterable ``vertices``."""
+        for vertex in vertices:
+            self.add_vertex(vertex)
+
+    def add_edge(self, layer, u, v):
+        """Add the undirected edge ``(u, v)`` on ``layer``.
+
+        Endpoints are created if absent.  Adding an existing edge is a no-op;
+        self-loops raise :class:`ParameterError`.
+        """
+        self._check_layer(layer)
+        if u == v:
+            raise ParameterError("self-loop ({0!r}, {0!r}) is not allowed".format(u))
+        self.add_vertex(u)
+        self.add_vertex(v)
+        self._adj[layer][u].add(v)
+        self._adj[layer][v].add(u)
+
+    def add_edges(self, layer, edges):
+        """Add every ``(u, v)`` pair from ``edges`` on ``layer``."""
+        for u, v in edges:
+            self.add_edge(layer, u, v)
+
+    def remove_edge(self, layer, u, v):
+        """Remove the edge ``(u, v)`` from ``layer``; missing edges error."""
+        self._check_layer(layer)
+        self._check_vertex(u)
+        self._check_vertex(v)
+        try:
+            self._adj[layer][u].remove(v)
+            self._adj[layer][v].remove(u)
+        except KeyError:
+            raise VertexError((u, v)) from None
+
+    def remove_vertex(self, vertex):
+        """Remove ``vertex`` and all its incident edges from every layer."""
+        self._check_vertex(vertex)
+        for adj in self._adj:
+            for neighbor in adj[vertex]:
+                adj[neighbor].remove(vertex)
+            del adj[vertex]
+        self._vertices.remove(vertex)
+
+    def remove_vertices(self, vertices):
+        """Remove every vertex in the iterable ``vertices``."""
+        for vertex in list(vertices):
+            self.remove_vertex(vertex)
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+
+    def has_edge(self, layer, u, v):
+        """Whether the edge ``(u, v)`` exists on ``layer``."""
+        self._check_layer(layer)
+        neighbors = self._adj[layer].get(u)
+        return neighbors is not None and v in neighbors
+
+    def neighbors(self, layer, vertex):
+        """The neighbour set ``N_{G_layer}(vertex)`` (a live set — do not mutate)."""
+        self._check_layer(layer)
+        try:
+            return self._adj[layer][vertex]
+        except KeyError:
+            raise VertexError(vertex) from None
+
+    def degree(self, layer, vertex):
+        """The degree ``d_{G_layer}(vertex)``."""
+        return len(self.neighbors(layer, vertex))
+
+    def min_degree_over(self, layers, vertex):
+        """``min_{i in layers} d_{G_i}(vertex)`` — the m(v) of Appendix B."""
+        return min(self.degree(layer, vertex) for layer in layers)
+
+    def num_edges(self, layer):
+        """The number of edges ``|E_layer|`` on one layer."""
+        self._check_layer(layer)
+        return sum(len(neighbors) for neighbors in self._adj[layer].values()) // 2
+
+    def total_edges(self):
+        """``sum_i |E_i|`` — total edge count with layer multiplicity."""
+        return sum(self.num_edges(layer) for layer in self.layers())
+
+    def union_edge_count(self):
+        """``|union_i E_i|`` — number of distinct vertex pairs with an edge."""
+        seen = set()
+        for layer in self.layers():
+            for u, v in self.edges(layer):
+                seen.add((u, v))
+        return len(seen)
+
+    def edges(self, layer):
+        """Yield each edge of ``layer`` once as a canonically ordered pair."""
+        self._check_layer(layer)
+        for u, neighbors in self._adj[layer].items():
+            for v in neighbors:
+                # Emit each undirected edge exactly once.  Hashes order the
+                # pair canonically even for non-comparable vertex types.
+                if (hash(u), id(u)) < (hash(v), id(v)):
+                    yield (u, v)
+
+    def all_edges(self):
+        """Yield ``(layer, u, v)`` triples over all layers."""
+        for layer in self.layers():
+            for u, v in self.edges(layer):
+                yield (layer, u, v)
+
+    def adjacency(self, layer):
+        """The raw adjacency dict of ``layer`` (read-only by convention).
+
+        The peeling algorithms in :mod:`repro.core` take this dictionary
+        directly to avoid per-edge method-call overhead.
+        """
+        self._check_layer(layer)
+        return self._adj[layer]
+
+    # ------------------------------------------------------------------
+    # derived graphs
+    # ------------------------------------------------------------------
+
+    def copy(self, name=None):
+        """Return a deep copy (new adjacency sets, same vertex objects)."""
+        other = MultiLayerGraph(
+            self.num_layers,
+            name=self.name if name is None else name,
+        )
+        other._vertices = set(self._vertices)
+        other._adj = [
+            {vertex: set(neighbors) for vertex, neighbors in adj.items()}
+            for adj in self._adj
+        ]
+        return other
+
+    def induced_subgraph(self, vertices, name=""):
+        """The multi-layer subgraph ``G[S]`` induced by ``vertices``.
+
+        Vertices not present in the graph are ignored, matching the paper's
+        convention that ``G[S]`` is defined by ``S ∩ V(G)``.
+        """
+        keep = set(vertices) & self._vertices
+        sub = MultiLayerGraph(self.num_layers, vertices=keep, name=name)
+        for layer, adj in enumerate(self._adj):
+            sub_adj = sub._adj[layer]
+            for vertex in keep:
+                sub_adj[vertex] = adj[vertex] & keep
+        return sub
+
+    def subgraph_of_layers(self, layer_ids, name=""):
+        """A new graph containing only the given layers (same vertices).
+
+        Used by the scalability experiment that varies the layer fraction
+        ``q`` (Fig. 27).
+        """
+        layer_ids = list(layer_ids)
+        for layer in layer_ids:
+            self._check_layer(layer)
+        if not layer_ids:
+            raise ParameterError("at least one layer must be kept")
+        sub = MultiLayerGraph(len(layer_ids), vertices=self._vertices, name=name)
+        for new_layer, old_layer in enumerate(layer_ids):
+            sub._adj[new_layer] = {
+                vertex: set(neighbors)
+                for vertex, neighbors in self._adj[old_layer].items()
+            }
+        return sub
+
+    # ------------------------------------------------------------------
+    # dunder & debugging helpers
+    # ------------------------------------------------------------------
+
+    def __eq__(self, other):
+        if not isinstance(other, MultiLayerGraph):
+            return NotImplemented
+        return self._vertices == other._vertices and self._adj == other._adj
+
+    def __ne__(self, other):
+        equal = self.__eq__(other)
+        return NotImplemented if equal is NotImplemented else not equal
+
+    def __repr__(self):
+        label = " {!r}".format(self.name) if self.name else ""
+        return "MultiLayerGraph({} layers, {} vertices, {} edges{})".format(
+            self.num_layers, self.num_vertices, self.total_edges(), label
+        )
+
+    def summary(self):
+        """A dict of the Fig. 12 statistics columns for this graph."""
+        return {
+            "name": self.name,
+            "vertices": self.num_vertices,
+            "total_edges": self.total_edges(),
+            "union_edges": self.union_edge_count(),
+            "layers": self.num_layers,
+        }
+
+    def validate(self):
+        """Check internal consistency; raises :class:`GraphError` on corruption.
+
+        Verifies that adjacency is symmetric, loop-free and confined to the
+        vertex set.  Intended for tests and for debugging code that mutates
+        :meth:`adjacency` directly.
+        """
+        for layer, adj in enumerate(self._adj):
+            if set(adj) != self._vertices:
+                raise VertexError(set(adj) ^ self._vertices)
+            for vertex, neighbors in adj.items():
+                if vertex in neighbors:
+                    raise ParameterError(
+                        "self-loop at {!r} on layer {}".format(vertex, layer)
+                    )
+                for neighbor in neighbors:
+                    if neighbor not in self._vertices:
+                        raise VertexError(neighbor)
+                    if vertex not in adj[neighbor]:
+                        raise ParameterError(
+                            "asymmetric edge ({!r}, {!r}) on layer {}".format(
+                                vertex, neighbor, layer
+                            )
+                        )
+        return True

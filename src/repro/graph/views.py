@@ -1,0 +1,97 @@
+"""Read-only views over a multi-layer graph.
+
+:class:`LayerView` presents a single layer restricted to a vertex subset as
+an ordinary graph, which is what the quasi-clique baseline and the metrics
+modules want to reason about.  Views hold references, never copies, so they
+are cheap to create inside inner loops.
+"""
+
+from repro.utils.errors import VertexError
+
+
+class LayerView:
+    """A single layer of a multi-layer graph, optionally induced on a subset.
+
+    Parameters
+    ----------
+    graph:
+        The backing :class:`~repro.graph.multilayer.MultiLayerGraph`.
+    layer:
+        The layer index to expose.
+    within:
+        Optional vertex subset; the view then behaves like ``G_layer[S]``.
+    """
+
+    __slots__ = ("_graph", "_layer", "_within")
+
+    def __init__(self, graph, layer, within=None):
+        graph._check_layer(layer)
+        self._graph = graph
+        self._layer = layer
+        self._within = None if within is None else set(within)
+
+    @property
+    def layer(self):
+        """The index of the exposed layer."""
+        return self._layer
+
+    def vertices(self):
+        """The vertex set of the view."""
+        if self._within is None:
+            return self._graph.vertices()
+        return set(self._within) & self._graph.vertices()
+
+    def __contains__(self, vertex):
+        if self._within is not None and vertex not in self._within:
+            return False
+        return vertex in self._graph
+
+    def neighbors(self, vertex):
+        """Neighbours of ``vertex`` inside the view."""
+        if vertex not in self:
+            raise VertexError(vertex)
+        raw = self._graph.neighbors(self._layer, vertex)
+        if self._within is None:
+            return set(raw)
+        return raw & self._within
+
+    def degree(self, vertex):
+        """Degree of ``vertex`` inside the view."""
+        return len(self.neighbors(vertex))
+
+    def has_edge(self, u, v):
+        """Whether both endpoints are in the view and adjacent on the layer."""
+        return u in self and v in self and self._graph.has_edge(self._layer, u, v)
+
+    def edges(self):
+        """Yield each edge of the view once."""
+        for u, v in self._graph.edges(self._layer):
+            if u in self and v in self:
+                yield (u, v)
+
+    def num_edges(self):
+        """Count edges in the view."""
+        return sum(1 for _ in self.edges())
+
+    def min_degree(self):
+        """The minimum degree over the view's vertices (0 for empty views)."""
+        vertices = self.vertices()
+        if not vertices:
+            return 0
+        return min(self.degree(v) for v in vertices)
+
+    def is_d_dense(self, d):
+        """Whether the viewed (sub)graph is d-dense (every degree >= d)."""
+        return all(self.degree(v) >= d for v in self.vertices())
+
+    def density(self):
+        """Edge density ``2m / (n (n - 1))`` of the view; 0 when n < 2."""
+        n = len(self.vertices())
+        if n < 2:
+            return 0.0
+        return 2.0 * self.num_edges() / (n * (n - 1))
+
+    def __repr__(self):
+        return "LayerView(layer={}, vertices={})".format(
+            self._layer, len(self.vertices())
+        )

@@ -1,0 +1,41 @@
+"""Evaluation metrics for covers, containment and complex recovery."""
+
+from repro.metrics.complexes import (
+    complex_recovery_rate,
+    complexes_found,
+    recovery_by_cover,
+)
+from repro.metrics.containment import (
+    class_densities,
+    containment_distribution,
+    cover_difference_classes,
+    fully_contained_fraction,
+)
+from repro.metrics.cover import (
+    cover,
+    cover_size,
+    exclusive_counts,
+    f1_score,
+    jaccard,
+    overlap_matrix,
+    precision,
+    recall,
+)
+
+__all__ = [
+    "cover",
+    "cover_size",
+    "precision",
+    "recall",
+    "f1_score",
+    "jaccard",
+    "overlap_matrix",
+    "exclusive_counts",
+    "containment_distribution",
+    "fully_contained_fraction",
+    "cover_difference_classes",
+    "class_densities",
+    "complexes_found",
+    "complex_recovery_rate",
+    "recovery_by_cover",
+]

@@ -1,0 +1,85 @@
+"""Containment of quasi-cliques in d-CC covers (Fig. 30) and the cover
+difference classes of Fig. 31.
+
+Fig. 30 reports, for every quasi-clique ``Q`` that MiMAG finds, how many of
+its vertices fall inside the d-CC cover ``Cov(R_C)`` — bucketed by ``|Q|``
+and normalised to a distribution.  Fig. 31 colours vertices by which cover
+they belong to (both / only d-CC / only quasi-clique).
+"""
+
+
+def containment_distribution(quasi_cliques, dcc_cover):
+    """``{|Q|: {overlap: fraction}}`` — the Fig. 30 table.
+
+    For each quasi-clique size class, the fraction of quasi-cliques whose
+    intersection with ``dcc_cover`` has each possible cardinality
+    ``0..|Q|``.
+    """
+    dcc_cover = set(dcc_cover)
+    histogram = {}
+    for clique in quasi_cliques:
+        clique = set(clique)
+        size = len(clique)
+        overlap = len(clique & dcc_cover)
+        by_overlap = histogram.setdefault(size, {})
+        by_overlap[overlap] = by_overlap.get(overlap, 0) + 1
+    distribution = {}
+    for size, by_overlap in histogram.items():
+        total = sum(by_overlap.values())
+        distribution[size] = {
+            overlap: count / total for overlap, count in by_overlap.items()
+        }
+    return distribution
+
+
+def fully_contained_fraction(quasi_cliques, dcc_cover):
+    """Fraction of quasi-cliques entirely inside the d-CC cover.
+
+    The headline of the paper's observation 3 on Fig. 30: "the
+    quasi-cliques in R_Q are largely contained in the d-CCs in R_C".
+    """
+    quasi_cliques = list(quasi_cliques)
+    if not quasi_cliques:
+        return 0.0
+    dcc_cover = set(dcc_cover)
+    contained = sum(1 for clique in quasi_cliques if set(clique) <= dcc_cover)
+    return contained / len(quasi_cliques)
+
+
+def cover_difference_classes(dcc_cover, quasi_cover):
+    """The three vertex classes of Fig. 31.
+
+    Returns ``(both, only_dcc, only_quasi)`` — the red, green and blue
+    vertex sets of the figure.
+    """
+    dcc_cover = set(dcc_cover)
+    quasi_cover = set(quasi_cover)
+    return (
+        dcc_cover & quasi_cover,
+        dcc_cover - quasi_cover,
+        quasi_cover - dcc_cover,
+    )
+
+
+def class_densities(graph, dcc_cover, quasi_cover):
+    """Average within-class degree (over layers) for the Fig. 31 classes.
+
+    The paper's qualitative claims — blue vertices are sparsely connected,
+    green vertices densely connected with themselves and with red ones —
+    become numbers here: for each class, the mean over vertices and layers
+    of the degree restricted to (class ∪ both).
+    """
+    both, only_dcc, only_quasi = cover_difference_classes(dcc_cover, quasi_cover)
+    summary = {}
+    for name, members in (
+        ("both", both), ("only_dcc", only_dcc), ("only_quasi", only_quasi),
+    ):
+        scope = members | both
+        total = 0
+        samples = 0
+        for vertex in members:
+            for layer in graph.layers():
+                total += len(graph.neighbors(layer, vertex) & scope)
+                samples += 1
+        summary[name] = total / samples if samples else 0.0
+    return summary

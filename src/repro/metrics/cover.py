@@ -1,0 +1,97 @@
+"""Cover-based evaluation metrics (Section VI, Fig. 29).
+
+The paper scores every algorithm by the size of the cover of its result
+and compares two result collections by precision / recall / F1 over their
+covers.  All functions here take plain collections of vertex sets, so they
+work for DCCS results, MiMAG results and ground-truth communities alike.
+"""
+
+
+def cover(sets):
+    """The union of a collection of vertex sets."""
+    covered = set()
+    for members in sets:
+        covered |= set(members)
+    return covered
+
+
+def cover_size(sets):
+    """``|Cov(R)|`` — the paper's accuracy measure."""
+    return len(cover(sets))
+
+
+def precision(reference_sets, candidate_sets):
+    """``|Cov(R_Q) ∩ Cov(R_C)| / |Cov(R_C)|`` (Fig. 29, metric 3).
+
+    ``reference_sets`` plays the role of MiMAG's output ``R_Q`` and
+    ``candidate_sets`` that of BU-DCCS's ``R_C``.  Returns 0.0 for an
+    empty candidate cover.
+    """
+    reference = cover(reference_sets)
+    candidate = cover(candidate_sets)
+    if not candidate:
+        return 0.0
+    return len(reference & candidate) / len(candidate)
+
+
+def recall(reference_sets, candidate_sets):
+    """``|Cov(R_Q) ∩ Cov(R_C)| / |Cov(R_Q)|`` (Fig. 29, metric 4)."""
+    reference = cover(reference_sets)
+    candidate = cover(candidate_sets)
+    if not reference:
+        return 0.0
+    return len(reference & candidate) / len(reference)
+
+
+def f1_score(reference_sets, candidate_sets):
+    """Harmonic mean of precision and recall (Fig. 29, metric 5)."""
+    p = precision(reference_sets, candidate_sets)
+    r = recall(reference_sets, candidate_sets)
+    if p + r == 0.0:
+        return 0.0
+    return 2.0 * p * r / (p + r)
+
+
+def jaccard(first_sets, second_sets):
+    """Jaccard similarity of two covers — an extra symmetric summary."""
+    first = cover(first_sets)
+    second = cover(second_sets)
+    union = first | second
+    if not union:
+        return 1.0
+    return len(first & second) / len(union)
+
+
+def overlap_matrix(sets):
+    """Pairwise ``|A ∩ B| / |A ∪ B|`` matrix over one collection.
+
+    Quantifies the "significant overlaps" observation that motivates
+    diversification (Section I, and the k-sweep discussion of Fig. 24).
+    """
+    sets = [set(members) for members in sets]
+    matrix = []
+    for a in sets:
+        row = []
+        for b in sets:
+            union = a | b
+            row.append(len(a & b) / len(union) if union else 1.0)
+        matrix.append(row)
+    return matrix
+
+
+def exclusive_counts(sets):
+    """For each set, how many vertices only it covers.
+
+    This is ``|Δ(R, C')|`` of Section IV-A computed offline; tests compare
+    it against the incremental bookkeeping of
+    :class:`~repro.core.coverage.DiversifiedTopK`.
+    """
+    sets = [set(members) for members in sets]
+    counts = []
+    for index, members in enumerate(sets):
+        others = set()
+        for other_index, other in enumerate(sets):
+            if other_index != index:
+                others |= other
+        counts.append(len(members - others))
+    return counts

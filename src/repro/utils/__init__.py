@@ -1,0 +1,20 @@
+"""Shared utilities: error types, timers, RNG helpers, and set tools."""
+
+from repro.utils.errors import (
+    GraphError,
+    LayerIndexError,
+    ParameterError,
+    VertexError,
+)
+from repro.utils.rng import make_rng, sample_subset
+from repro.utils.timer import Timer
+
+__all__ = [
+    "GraphError",
+    "LayerIndexError",
+    "ParameterError",
+    "VertexError",
+    "Timer",
+    "make_rng",
+    "sample_subset",
+]

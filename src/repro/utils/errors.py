@@ -1,0 +1,40 @@
+"""Exception hierarchy for the repro package.
+
+All errors raised by the library derive from :class:`GraphError` so callers
+can catch a single base class.  The subclasses distinguish the three ways a
+call can go wrong: a bad vertex, a bad layer index, or a bad algorithm
+parameter.
+"""
+
+
+class GraphError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class VertexError(GraphError, KeyError):
+    """Raised when an operation references a vertex not in the graph."""
+
+    def __init__(self, vertex):
+        super().__init__(vertex)
+        self.vertex = vertex
+
+    def __str__(self):
+        return "vertex {!r} is not in the graph".format(self.vertex)
+
+
+class LayerIndexError(GraphError, IndexError):
+    """Raised when a layer index is outside ``range(num_layers)``."""
+
+    def __init__(self, layer, num_layers):
+        super().__init__(layer)
+        self.layer = layer
+        self.num_layers = num_layers
+
+    def __str__(self):
+        return "layer {} is out of range for a graph with {} layers".format(
+            self.layer, self.num_layers
+        )
+
+
+class ParameterError(GraphError, ValueError):
+    """Raised when an algorithm parameter (d, s, k, gamma, ...) is invalid."""

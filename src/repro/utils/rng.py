@@ -1,0 +1,35 @@
+"""Deterministic random-number helpers.
+
+Every stochastic component of the library (dataset generators, the
+potential-set shortcut of the top-down algorithm, scalability sampling)
+accepts either a seed or a :class:`random.Random` instance.  Centralising
+the coercion here keeps experiments reproducible end to end.
+"""
+
+import random
+
+
+def make_rng(seed_or_rng=None):
+    """Return a :class:`random.Random` from a seed, an rng, or ``None``.
+
+    ``None`` yields a freshly seeded generator (seed 0) so that library code
+    is deterministic by default; pass an explicit :class:`random.Random` to
+    share state across components.
+    """
+    if isinstance(seed_or_rng, random.Random):
+        return seed_or_rng
+    if seed_or_rng is None:
+        return random.Random(0)
+    return random.Random(seed_or_rng)
+
+
+def sample_subset(rng, items, size):
+    """Sample ``size`` distinct elements of ``items`` as a sorted list.
+
+    Raises :class:`ValueError` when ``size`` exceeds ``len(items)`` —
+    mirroring :func:`random.sample` — because silently truncating would make
+    experiment sweeps lie about their parameters.
+    """
+    picked = rng.sample(list(items), size)
+    picked.sort()
+    return picked

@@ -1,0 +1,52 @@
+"""A tiny wall-clock timer used by the experiment harness.
+
+The paper reports execution time for every algorithm; :class:`Timer` wraps
+:func:`time.perf_counter` behind a context manager so experiment code reads
+naturally::
+
+    with Timer() as t:
+        result = bu_dccs(graph, d=4, s=3, k=10)
+    print(t.elapsed)
+"""
+
+import time
+
+
+class Timer:
+    """Context-manager stopwatch measuring elapsed wall-clock seconds.
+
+    The timer can be reused: entering the context again restarts it.  While
+    the block is still running, :attr:`elapsed` reports the time since entry,
+    which makes the class usable for progress reporting as well.
+    """
+
+    __slots__ = ("_start", "_stop")
+
+    def __init__(self):
+        self._start = None
+        self._stop = None
+
+    def __enter__(self):
+        self._start = time.perf_counter()
+        self._stop = None
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        self._stop = time.perf_counter()
+        return False
+
+    @property
+    def running(self):
+        """Whether the timer has been started but not yet stopped."""
+        return self._start is not None and self._stop is None
+
+    @property
+    def elapsed(self):
+        """Elapsed seconds; live while running, frozen once stopped."""
+        if self._start is None:
+            return 0.0
+        end = self._stop if self._stop is not None else time.perf_counter()
+        return end - self._start
+
+    def __repr__(self):
+        return "Timer(elapsed={:.6f}s)".format(self.elapsed)

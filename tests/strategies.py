@@ -1,0 +1,36 @@
+"""Shared hypothesis strategies for multi-layer graphs."""
+
+from hypothesis import strategies as st
+
+from repro.graph import MultiLayerGraph
+
+
+@st.composite
+def multilayer_graphs(draw, max_vertices=10, max_layers=4,
+                      edge_probability=0.45):
+    """A random small multi-layer graph on integer vertices."""
+    n = draw(st.integers(min_value=1, max_value=max_vertices))
+    layers = draw(st.integers(min_value=1, max_value=max_layers))
+    graph = MultiLayerGraph(layers, vertices=range(n))
+    for layer in range(layers):
+        for i in range(n):
+            for j in range(i + 1, n):
+                if draw(
+                    st.floats(min_value=0.0, max_value=1.0)
+                ) < edge_probability:
+                    graph.add_edge(layer, i, j)
+    return graph
+
+
+@st.composite
+def graph_with_layer_subset(draw, max_vertices=10, max_layers=4):
+    """A random graph plus a non-empty subset of its layers."""
+    graph = draw(multilayer_graphs(max_vertices, max_layers))
+    layers = draw(
+        st.sets(
+            st.integers(min_value=0, max_value=graph.num_layers - 1),
+            min_size=1,
+            max_size=graph.num_layers,
+        )
+    )
+    return graph, sorted(layers)

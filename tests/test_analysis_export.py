@@ -1,0 +1,150 @@
+"""Tests for graph analysis statistics and the DOT/GraphML exporters."""
+
+import xml.etree.ElementTree as ET
+
+import pytest
+
+from repro.graph import (
+    MultiLayerGraph,
+    ascii_layer_summary,
+    core_size_profile,
+    layer_edge_jaccard,
+    layer_similarity_matrix,
+    layer_statistics,
+    paper_figure1_graph,
+    recommend_support,
+    replicate_layer,
+    support_histogram,
+    to_dot,
+    to_graphml,
+    write_dot,
+    write_graphml,
+)
+from repro.utils.errors import ParameterError
+
+
+def demo_graph():
+    g = MultiLayerGraph(2, vertices=range(5))
+    for u, v in ((0, 1), (1, 2), (0, 2)):
+        g.add_edge(0, u, v)
+        g.add_edge(1, u, v)
+    g.add_edge(0, 2, 3)
+    return g
+
+
+class TestAnalysis:
+    def test_layer_statistics(self):
+        rows = layer_statistics(demo_graph())
+        assert rows[0]["edges"] == 4
+        assert rows[1]["edges"] == 3
+        assert rows[0]["two_core"] == 3
+        assert 0.0 < rows[0]["density"] < 1.0
+
+    def test_layer_statistics_empty_graph(self):
+        rows = layer_statistics(MultiLayerGraph(1))
+        assert rows[0]["edges"] == 0
+        assert rows[0]["avg_degree"] == 0.0
+
+    def test_edge_jaccard(self):
+        g = demo_graph()
+        # Layer 1's 3 edges are a subset of layer 0's 4.
+        assert layer_edge_jaccard(g, 0, 1) == 3 / 4
+        assert layer_edge_jaccard(g, 0, 0) == 1.0
+
+    def test_similarity_matrix_symmetric(self):
+        matrix = layer_similarity_matrix(demo_graph())
+        assert matrix[0][1] == matrix[1][0] == 3 / 4
+        assert matrix[0][0] == 1.0
+
+    def test_identical_layers_similarity_one(self):
+        g = replicate_layer([(0, 1), (1, 2)], 3)
+        matrix = layer_similarity_matrix(g)
+        assert all(value == 1.0 for row in matrix for value in row)
+
+    def test_support_histogram(self):
+        g = demo_graph()
+        histogram = support_histogram(g, 2)
+        # Triangle {0,1,2} in both layers' 2-cores; 3 and 4 in none.
+        assert histogram[2] == 3
+        assert histogram[0] == 2
+        with pytest.raises(ParameterError):
+            support_histogram(g, -1)
+
+    def test_core_size_profile(self):
+        profile = core_size_profile(demo_graph(), max_d=2)
+        assert profile[0][2] == 3
+        assert profile[1][0] == 5
+
+    def test_recommend_support(self):
+        g = demo_graph()
+        # All 2-core vertices survive s = 2, so the strictest choice is 2.
+        assert recommend_support(g, 2, coverage=1.0) == 2
+        with pytest.raises(ParameterError):
+            recommend_support(g, 2, coverage=0.0)
+
+    def test_recommend_support_no_cores(self):
+        g = MultiLayerGraph(3, vertices=range(4))
+        assert recommend_support(g, 2) == 1
+
+
+class TestDot:
+    def test_contains_vertices_and_edges(self):
+        text = to_dot(demo_graph())
+        assert text.startswith("graph")
+        assert '"0" -- "1"' in text or '"1" -- "0"' in text
+        assert text.rstrip().endswith("}")
+
+    def test_class_colouring(self):
+        text = to_dot(
+            demo_graph(),
+            classes={"both": {0}, "only": {1}},
+            class_colors={"both": "#ff0000"},
+        )
+        assert '"0" [fillcolor="#ff0000"];' in text
+
+    def test_layer_subset(self):
+        text = to_dot(demo_graph(), layers=[1])
+        assert 'layer="1"' in text
+        assert 'layer="0"' not in text
+
+    def test_write_dot(self, tmp_path):
+        path = tmp_path / "g.dot"
+        write_dot(demo_graph(), path)
+        assert path.read_text().startswith("graph")
+
+    def test_quotes_escaped(self):
+        g = MultiLayerGraph(1)
+        g.add_edge(0, 'a"b', "c")
+        assert to_dot(g)  # must not raise
+
+
+class TestGraphml:
+    def test_well_formed_xml(self):
+        text = to_graphml(demo_graph())
+        root = ET.fromstring(text)
+        ns = "{http://graphml.graphdrawing.org/xmlns}"
+        nodes = root.findall(".//{}node".format(ns))
+        edges = root.findall(".//{}edge".format(ns))
+        assert len(nodes) == 5
+        assert len(edges) == 7
+
+    def test_layer_attribute(self):
+        text = to_graphml(demo_graph())
+        assert '<data key="layer">1</data>' in text
+
+    def test_write_graphml(self, tmp_path):
+        path = tmp_path / "g.graphml"
+        write_graphml(paper_figure1_graph(), path)
+        ET.parse(path)  # parses cleanly
+
+
+class TestAscii:
+    def test_bar_chart(self):
+        text = ascii_layer_summary(demo_graph(), width=10)
+        lines = text.splitlines()
+        assert len(lines) == 2
+        assert lines[0].endswith("4")
+
+    def test_empty_graph(self):
+        text = ascii_layer_summary(MultiLayerGraph(1), width=10)
+        assert "0" in text

@@ -1,0 +1,126 @@
+"""Tests for the bottom-up DCCS algorithm (BU-DCCS)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.exact import exact_dccs
+from repro.core.bottomup import bu_dccs
+from repro.core.dcc import is_coherent_dense
+from repro.core.greedy import gd_dccs
+from repro.graph import MultiLayerGraph, paper_figure1_graph
+from repro.utils.errors import ParameterError
+from tests.strategies import multilayer_graphs
+
+
+class TestBuDccs:
+    def test_paper_example(self):
+        graph = paper_figure1_graph()
+        result = bu_dccs(graph, d=3, s=2, k=2)
+        assert result.cover_size == 13
+        assert result.algorithm == "bottom-up"
+        covered = result.cover
+        assert set("abcdefghi") <= covered
+
+    def test_parameter_validation(self):
+        g = paper_figure1_graph()
+        with pytest.raises(ParameterError):
+            bu_dccs(g, -1, 2, 2)
+        with pytest.raises(ParameterError):
+            bu_dccs(g, 3, 5, 2)
+        with pytest.raises(ParameterError):
+            bu_dccs(g, 3, 2, 0)
+
+    def test_empty_graph_result(self):
+        g = MultiLayerGraph(2, vertices=range(3))
+        result = bu_dccs(g, d=1, s=2, k=2)
+        assert result.sets == []
+
+    def test_s_equals_one(self):
+        g = paper_figure1_graph()
+        result = bu_dccs(g, d=3, s=1, k=4)
+        for layers, members in zip(result.labels, result.sets):
+            assert len(layers) == 1
+            assert is_coherent_dense(g, members, layers, 3)
+
+    def test_s_equals_l(self):
+        g = paper_figure1_graph()
+        result = bu_dccs(g, d=3, s=4, k=2)
+        for layers, members in zip(result.labels, result.sets):
+            assert len(layers) == 4
+            assert is_coherent_dense(g, members, layers, 3)
+
+    def test_all_switches_off_keeps_ratio(self):
+        # Without the greedy seeding, Rule 2's (1 + 1/k) growth bar can
+        # freeze an early mediocre pair — that is exactly the 1/4-ratio
+        # regime, not the exact optimum of 13.
+        g = paper_figure1_graph()
+        result = bu_dccs(
+            g, d=3, s=2, k=2,
+            use_vertex_deletion=False,
+            use_layer_sorting=False,
+            use_init_topk=False,
+            use_order_pruning=False,
+            use_layer_pruning=False,
+        )
+        assert 4 * result.cover_size >= 13
+        for layers, members in zip(result.labels, result.sets):
+            assert is_coherent_dense(g, members, layers, 3)
+
+    def test_prunes_relative_to_greedy(self):
+        # On a graph with clear winners and many layers, BU examines far
+        # fewer candidates than greedy's binom(l, s) enumeration.
+        g = MultiLayerGraph(10, vertices=range(30))
+        block = list(range(10))
+        for layer in range(4):
+            for i, u in enumerate(block):
+                for v in block[i + 1:]:
+                    g.add_edge(layer, u, v)
+        greedy = gd_dccs(g, d=3, s=3, k=2)
+        bottom_up = bu_dccs(g, d=3, s=3, k=2)
+        assert bottom_up.cover_size == greedy.cover_size
+        # Greedy materialises all binom(10, 3) = 120 layer subsets; the
+        # bottom-up tree offers far fewer level-s candidates.
+        assert greedy.stats.candidates_generated == 120
+        assert (
+            bottom_up.stats.candidates_generated
+            < greedy.stats.candidates_generated
+        )
+
+    @given(multilayer_graphs(max_vertices=8, max_layers=4),
+           st.integers(min_value=1, max_value=3),
+           st.integers(min_value=1, max_value=3))
+    @settings(max_examples=60, deadline=None)
+    def test_results_are_valid_dccs(self, graph, d, k):
+        for s in range(1, graph.num_layers + 1):
+            result = bu_dccs(graph, d, s, k)
+            assert len(result.sets) <= k
+            for layers, members in zip(result.labels, result.sets):
+                assert len(layers) == s
+                assert is_coherent_dense(graph, members, layers, d)
+
+    @given(multilayer_graphs(max_vertices=8, max_layers=3),
+           st.integers(min_value=1, max_value=2),
+           st.integers(min_value=1, max_value=3))
+    @settings(max_examples=40, deadline=None)
+    def test_theorem3_approximation_ratio(self, graph, d, k):
+        """BU cover >= 1/4 of the optimal cover (Theorem 3)."""
+        for s in range(1, graph.num_layers + 1):
+            optimum = exact_dccs(graph, d, s, k, max_candidates=64)
+            result = bu_dccs(graph, d, s, k)
+            assert 4 * result.cover_size >= optimum.cover_size
+
+    @given(multilayer_graphs(max_vertices=8, max_layers=3))
+    @settings(max_examples=30, deadline=None)
+    def test_pruning_switches_do_not_break_ratio(self, graph):
+        d, s, k = 1, min(2, graph.num_layers), 2
+        optimum = exact_dccs(graph, d, s, k, max_candidates=64)
+        for options in (
+            {"use_order_pruning": False},
+            {"use_layer_pruning": False},
+            {"use_init_topk": False},
+            {"use_layer_sorting": False},
+            {"use_vertex_deletion": False},
+        ):
+            result = bu_dccs(graph, d, s, k, **options)
+            assert 4 * result.cover_size >= optimum.cover_size

@@ -1,0 +1,100 @@
+"""Tests for the stand-in dataset registry."""
+
+import pytest
+
+from repro.core.api import search_dccs
+from repro.datasets import (
+    DATASET_NAMES,
+    PAPER_STATISTICS,
+    build_standin,
+    clear_cache,
+    dataset_statistics,
+    load,
+)
+from repro.utils.errors import ParameterError
+
+
+class TestRegistry:
+    def test_all_names_present(self):
+        assert set(DATASET_NAMES) == {
+            "ppi", "author", "german", "wiki", "english", "stack",
+        }
+
+    def test_unknown_name(self):
+        with pytest.raises(ParameterError):
+            load("nope")
+
+    def test_invalid_scale(self):
+        with pytest.raises(ParameterError):
+            load("ppi", scale=0)
+
+    def test_layer_counts_match_paper(self):
+        for name in DATASET_NAMES:
+            dataset = load(name, scale=0.2)
+            assert dataset.graph.num_layers == PAPER_STATISTICS[name]["layers"]
+
+    def test_memoisation(self):
+        clear_cache()
+        first = load("ppi", scale=0.3)
+        second = load("ppi", scale=0.3)
+        assert first is second
+        clear_cache()
+        third = load("ppi", scale=0.3)
+        assert third is not first
+
+    def test_scale_shrinks(self):
+        small = load("author", scale=0.2, seed=1)
+        full = load("author", scale=1.0, seed=1)
+        assert small.graph.num_vertices < full.graph.num_vertices
+
+    def test_ppi_has_complexes(self):
+        dataset = load("ppi")
+        assert dataset.complexes
+        members = set()
+        for complex_set in dataset.complexes:
+            members |= complex_set
+        assert members <= dataset.graph.vertices()
+
+    def test_statistics_table(self):
+        rows = dataset_statistics(names=("ppi",), scale=0.5)
+        assert rows[0]["name"] == "ppi"
+        assert rows[0]["paper"]["vertices"] == 328
+
+    def test_deterministic_per_seed(self):
+        clear_cache()
+        a = load("german", scale=0.2, seed=5)
+        clear_cache()
+        b = load("german", scale=0.2, seed=5)
+        assert a.graph == b.graph
+
+    def test_searchable(self):
+        dataset = load("ppi", scale=0.5)
+        result = search_dccs(dataset.graph, d=2, s=2, k=3)
+        assert result.cover_size > 0
+
+
+class TestBuildStandin:
+    def test_community_too_large(self):
+        with pytest.raises(ParameterError):
+            build_standin("x", 10, 2, 1, (5, 20), (1,))
+
+    def test_overlap_creates_shared_members(self):
+        dataset = build_standin(
+            "x", 200, 4, 8, (20, 30), (2, 3), overlap=0.5, seed=2
+        )
+        shared = 0
+        for i, first in enumerate(dataset.communities):
+            for second in dataset.communities[i + 1:]:
+                if first & second:
+                    shared += 1
+        assert shared > 0
+
+    def test_complexes_nested_in_communities(self):
+        dataset = build_standin(
+            "x", 100, 3, 4, (10, 16), (2,), plant_complexes=True, seed=3
+        )
+        for complex_set in dataset.complexes:
+            assert any(
+                complex_set <= community
+                for community in dataset.communities
+            )

@@ -1,0 +1,126 @@
+"""Tests for dynamic d-CC maintenance under edge updates."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.dcc import coherent_core
+from repro.core.dynamic import CoherentCoreTracker
+from repro.graph import MultiLayerGraph, replicate_layer
+from repro.utils.errors import ParameterError
+from tests.strategies import multilayer_graphs
+
+
+def triangle_tracker(d=2):
+    g = replicate_layer([(0, 1), (1, 2), (0, 2)], 2)
+    return CoherentCoreTracker(g, [0, 1], d)
+
+
+class TestBasics:
+    def test_initial_core(self):
+        tracker = triangle_tracker()
+        assert tracker.core == frozenset({0, 1, 2})
+
+    def test_negative_d(self):
+        g = replicate_layer([(0, 1)], 1)
+        with pytest.raises(ParameterError):
+            CoherentCoreTracker(g, [0], -1)
+
+    def test_owns_a_copy(self):
+        g = replicate_layer([(0, 1), (1, 2), (0, 2)], 2)
+        tracker = CoherentCoreTracker(g, [0, 1], 2)
+        g.remove_edge(0, 0, 1)  # mutate the ORIGINAL graph
+        assert tracker.core == frozenset({0, 1, 2})
+        tracker.check()
+
+
+class TestDeletion:
+    def test_inside_edge_cascades(self):
+        tracker = triangle_tracker()
+        tracker.remove_edge(0, 0, 1)
+        assert tracker.core == frozenset()
+        tracker.check()
+
+    def test_outside_edge_is_noop(self):
+        g = replicate_layer([(0, 1), (1, 2), (0, 2), (2, 3)], 2)
+        tracker = CoherentCoreTracker(g, [0, 1], 2)
+        before = tracker.core
+        tracker.remove_edge(0, 2, 3)
+        assert tracker.core == before
+        assert tracker.recomputations == 0
+        tracker.check()
+
+    def test_untracked_layer_ignored(self):
+        g = replicate_layer([(0, 1), (1, 2), (0, 2)], 3)
+        tracker = CoherentCoreTracker(g, [0, 1], 2)
+        tracker.remove_edge(2, 0, 1)  # layer 2 is outside L
+        assert tracker.core == frozenset({0, 1, 2})
+        tracker.check()
+
+
+class TestInsertion:
+    def test_inside_edge_is_noop(self):
+        g = MultiLayerGraph(1, vertices=range(4))
+        for u, v in ((0, 1), (1, 2), (0, 2), (2, 3), (0, 3)):
+            g.add_edge(0, u, v)
+        tracker = CoherentCoreTracker(g, [0], 2)
+        assert tracker.core == frozenset({0, 1, 2, 3})
+        tracker.add_edge(0, 1, 3)
+        assert tracker.core == frozenset({0, 1, 2, 3})
+        assert tracker.recomputations == 0
+        tracker.check()
+
+    def test_growth_from_outside(self):
+        g = replicate_layer([(0, 1), (1, 2), (0, 2), (2, 3)], 1)
+        tracker = CoherentCoreTracker(g, [0], 2)
+        assert 3 not in tracker.core
+        tracker.add_edge(0, 3, 0)
+        assert 3 in tracker.core
+        tracker.check()
+
+    def test_refresh_after_out_of_band_mutation(self):
+        tracker = triangle_tracker()
+        tracker.graph.add_edge(0, 2, 3)
+        tracker.graph.add_edge(0, 3, 0)
+        tracker.graph.add_edge(1, 2, 3)
+        tracker.graph.add_edge(1, 3, 0)
+        refreshed = tracker.refresh()
+        assert refreshed == coherent_core(tracker.graph, [0, 1], 2)
+
+
+class TestRandomisedAgainstScratch:
+    @given(
+        multilayer_graphs(max_vertices=8, max_layers=3),
+        st.integers(min_value=1, max_value=3),
+        st.lists(
+            st.tuples(
+                st.booleans(),            # insert or delete
+                st.integers(min_value=0, max_value=2),   # layer
+                st.integers(min_value=0, max_value=7),   # u
+                st.integers(min_value=0, max_value=7),   # v
+            ),
+            max_size=15,
+        ),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_tracker_matches_recompute(self, graph, d, updates):
+        layers = list(range(min(2, graph.num_layers)))
+        tracker = CoherentCoreTracker(graph, layers, d)
+        n = graph.num_vertices
+        for insert, layer, u, v in updates:
+            layer %= graph.num_layers
+            u %= n
+            v %= n
+            if u == v:
+                continue
+            vertices = sorted(tracker.graph.vertices(), key=str)
+            u, v = vertices[u % len(vertices)], vertices[v % len(vertices)]
+            if u == v:
+                continue
+            if insert:
+                tracker.add_edge(layer, u, v)
+            elif tracker.graph.has_edge(layer, u, v):
+                tracker.remove_edge(layer, u, v)
+            assert tracker.core == coherent_core(
+                tracker.graph, layers, d
+            )

@@ -1,0 +1,144 @@
+"""Adversarial and degenerate instances for all three DCCS algorithms.
+
+These are the structures most likely to break search invariants:
+identical layers (every layer subset yields the same core), disjoint
+layer supports (every intersection is empty), complete graphs (nothing
+peels), stars (everything peels), d = 0 (the core is the whole graph),
+and k far beyond the number of distinct candidates.
+"""
+
+import pytest
+
+from repro.core import search_dccs
+from repro.core.dcc import coherent_core, is_coherent_dense
+from repro.graph import MultiLayerGraph, replicate_layer
+
+METHODS = ("greedy", "bottom-up", "top-down")
+
+
+def complete_graph(n, layers):
+    edges = [(i, j) for i in range(n) for j in range(i + 1, n)]
+    return replicate_layer(edges, layers)
+
+
+def star_graph(n, layers):
+    edges = [(0, i) for i in range(1, n)]
+    return replicate_layer(edges, layers)
+
+
+def disjoint_supports_graph():
+    """Layer i hosts its own clique; no vertex is dense on two layers."""
+    g = MultiLayerGraph(3, vertices=range(12))
+    for layer in range(3):
+        block = range(layer * 4, layer * 4 + 4)
+        block = list(block)
+        for i, u in enumerate(block):
+            for v in block[i + 1:]:
+                g.add_edge(layer, u, v)
+    return g
+
+
+class TestIdenticalLayers:
+    @pytest.mark.parametrize("method", METHODS)
+    def test_every_subset_gives_same_core(self, method):
+        g = complete_graph(6, 4)
+        result = search_dccs(g, d=3, s=2, k=3, method=method)
+        # Only one distinct candidate exists; output is deduplicated.
+        assert len(result.sets) == 1
+        assert result.sets[0] == frozenset(range(6))
+
+    def test_cover_equals_clique(self):
+        g = complete_graph(5, 3)
+        for method in METHODS:
+            assert search_dccs(g, 4, 3, 2, method=method).cover_size == 5
+
+
+class TestDisjointSupports:
+    @pytest.mark.parametrize("method", METHODS)
+    def test_s_two_yields_nothing(self, method):
+        g = disjoint_supports_graph()
+        result = search_dccs(g, d=3, s=2, k=3, method=method)
+        assert result.cover_size == 0
+
+    @pytest.mark.parametrize("method", METHODS)
+    def test_s_one_finds_all_cliques(self, method):
+        g = disjoint_supports_graph()
+        result = search_dccs(g, d=3, s=1, k=3, method=method)
+        assert result.cover_size == 12
+
+
+class TestStars:
+    @pytest.mark.parametrize("method", METHODS)
+    def test_star_has_no_two_dense_core(self, method):
+        g = star_graph(8, 3)
+        result = search_dccs(g, d=2, s=2, k=2, method=method)
+        assert result.cover_size == 0
+
+    @pytest.mark.parametrize("method", METHODS)
+    def test_star_one_dense_core_is_whole_star(self, method):
+        g = star_graph(8, 3)
+        result = search_dccs(g, d=1, s=3, k=1, method=method)
+        assert result.cover_size == 8
+
+
+class TestDZero:
+    @pytest.mark.parametrize("method", METHODS)
+    def test_d_zero_covers_everything(self, method):
+        g = disjoint_supports_graph()
+        result = search_dccs(g, d=0, s=3, k=1, method=method)
+        assert result.cover_size == 12
+
+    def test_d_zero_core_is_vertex_set(self):
+        g = star_graph(5, 2)
+        assert coherent_core(g, [0, 1], 0) == frozenset(g.vertices())
+
+
+class TestLargeK:
+    @pytest.mark.parametrize("method", METHODS)
+    def test_k_exceeding_candidates(self, method):
+        g = disjoint_supports_graph()
+        result = search_dccs(g, d=3, s=1, k=50, method=method)
+        assert len(result.sets) <= 3
+        assert result.cover_size == 12
+        for layers, members in zip(result.labels, result.sets):
+            assert is_coherent_dense(g, members, layers, 3)
+
+
+class TestSingletonDimensions:
+    @pytest.mark.parametrize("method", METHODS)
+    def test_single_layer_graph(self, method):
+        g = complete_graph(4, 1)
+        result = search_dccs(g, d=2, s=1, k=2, method=method)
+        assert result.cover_size == 4
+
+    @pytest.mark.parametrize("method", METHODS)
+    def test_single_vertex_graph(self, method):
+        g = MultiLayerGraph(2, vertices=["only"])
+        result = search_dccs(g, d=1, s=2, k=1, method=method)
+        assert result.cover_size == 0
+
+    @pytest.mark.parametrize("method", METHODS)
+    def test_s_equals_l_on_identical_layers(self, method):
+        g = complete_graph(5, 4)
+        result = search_dccs(g, d=2, s=4, k=2, method=method)
+        assert result.cover_size == 5
+
+
+class TestMixedScales:
+    @pytest.mark.parametrize("method", METHODS)
+    def test_nested_cliques(self, method):
+        # K8 on layers {0,1}; its sub-K4 additionally on layer 2: the
+        # algorithms must report the large core for s=2 and the small
+        # one for s=3.
+        g = MultiLayerGraph(3, vertices=range(8))
+        for layer in (0, 1):
+            for i in range(8):
+                for j in range(i + 1, 8):
+                    g.add_edge(layer, i, j)
+        for i in range(4):
+            for j in range(i + 1, 4):
+                g.add_edge(2, i, j)
+        wide = search_dccs(g, d=3, s=2, k=1, method=method)
+        assert wide.cover_size == 8
+        narrow = search_dccs(g, d=3, s=3, k=1, method=method)
+        assert narrow.sets[0] == frozenset(range(4))

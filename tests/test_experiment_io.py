@@ -1,0 +1,87 @@
+"""Tests for the CSV/JSONL/Markdown experiment writers."""
+
+import pytest
+
+from repro.experiments.io import (
+    columns_of,
+    read_csv,
+    read_jsonl,
+    to_markdown,
+    write_csv,
+    write_jsonl,
+    write_markdown,
+)
+from repro.utils.errors import ParameterError
+
+ROWS = [
+    {"algorithm": "greedy", "s": 1, "time_s": 0.25},
+    {"algorithm": "bottom-up", "s": 1, "time_s": 0.03, "extra": "x"},
+]
+
+
+class TestColumns:
+    def test_union_in_order(self):
+        assert columns_of(ROWS) == ["algorithm", "s", "time_s", "extra"]
+
+    def test_explicit(self):
+        assert columns_of(ROWS, ["s"]) == ["s"]
+
+
+class TestCsv:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "rows.csv"
+        write_csv(ROWS, path)
+        back = read_csv(path)
+        assert back[0]["algorithm"] == "greedy"
+        assert back[1]["extra"] == "x"
+        assert back[0]["extra"] == ""
+
+    def test_no_columns(self, tmp_path):
+        with pytest.raises(ParameterError):
+            write_csv([], tmp_path / "x.csv")
+
+
+class TestJsonl:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "rows.jsonl"
+        write_jsonl(ROWS, path)
+        assert read_jsonl(path) == ROWS
+
+    def test_blank_lines_ignored(self, tmp_path):
+        path = tmp_path / "rows.jsonl"
+        path.write_text('{"a": 1}\n\n{"a": 2}\n')
+        assert read_jsonl(path) == [{"a": 1}, {"a": 2}]
+
+
+class TestMarkdown:
+    def test_table_shape(self):
+        text = to_markdown(ROWS, ["algorithm", "time_s"])
+        lines = text.splitlines()
+        assert lines[0] == "| algorithm | time_s |"
+        assert lines[1] == "| --- | --- |"
+        assert "0.250" in lines[2]
+
+    def test_write_with_title(self, tmp_path):
+        path = tmp_path / "t.md"
+        write_markdown(ROWS, path, title="Sweep")
+        content = path.read_text()
+        assert content.startswith("## Sweep")
+
+    def test_empty_rejected(self):
+        with pytest.raises(ParameterError):
+            to_markdown([])
+
+
+class TestIntegrationWithSweeps:
+    def test_sweep_rows_serialise(self, tmp_path):
+        from repro.datasets import load
+        from repro.experiments import sweep
+
+        graph = load("ppi", scale=0.4).graph
+        rows = sweep(graph, "s", (1, 2), {"d": 2, "s": 1, "k": 2},
+                     ("bottom-up",))
+        csv_path = write_csv(rows, tmp_path / "sweep.csv")
+        jsonl_path = write_jsonl(rows, tmp_path / "sweep.jsonl")
+        assert len(read_csv(csv_path)) == len(rows)
+        assert read_jsonl(jsonl_path)[0]["algorithm"] == "bottom-up"
+        assert "| algorithm" in to_markdown(rows, ["algorithm", "s"])

@@ -1,0 +1,190 @@
+"""Integration tests for the experiment harness (tiny scales)."""
+
+from repro.datasets import clear_cache
+from repro.experiments import (
+    DEFAULTS,
+    compare_mimag,
+    figure12_table,
+    figure13_table,
+    figure29,
+    figure30,
+    figure30_table,
+    figure31,
+    figure32,
+    format_series,
+    format_table,
+    pivot_series,
+    preprocessing_ablation,
+    pruning_ablation,
+    s_large,
+    s_large_values,
+    search_space_reduction,
+    sweep,
+    vary_d,
+    vary_k,
+    vary_large_s,
+    vary_p,
+    vary_q,
+    vary_small_s,
+)
+
+TINY = 0.15
+
+
+def teardown_module(module):
+    clear_cache()
+
+
+class TestConfig:
+    def test_defaults_match_paper(self):
+        assert DEFAULTS["k"] == 10
+        assert DEFAULTS["d"] == 4
+        assert DEFAULTS["s_small"] == 3
+
+    def test_s_large(self):
+        assert s_large(24) == 22
+        assert s_large(15, offset=0) == 15
+        assert s_large_values(24) == (20, 21, 22, 23, 24)
+
+
+class TestSweeps:
+    def test_vary_small_s_rows(self):
+        rows = vary_small_s("english", scale=TINY, s_values=(1, 2))
+        algorithms = {row["algorithm"] for row in rows}
+        assert algorithms == {"greedy", "bottom-up"}
+        assert all(row["dataset"] == "english" for row in rows)
+        assert {row["s"] for row in rows} == {1, 2}
+
+    def test_vary_large_s_rows(self):
+        rows = vary_large_s("english", scale=TINY, s_values=(14, 15))
+        assert {row["algorithm"] for row in rows} == {
+            "greedy", "bottom-up", "top-down",
+        }
+
+    def test_cover_decreases_with_s(self):
+        rows = vary_small_s(
+            "english", methods=("greedy",), scale=0.3, s_values=(1, 3, 5)
+        )
+        covers = {row["s"]: row["cover"] for row in rows}
+        assert covers[1] >= covers[3] >= covers[5]
+
+    def test_vary_d_small_and_large(self):
+        small = vary_d("german", large_s=False, d_values=(2, 4), scale=TINY)
+        assert {row["algorithm"] for row in small} == {"greedy", "bottom-up"}
+        large = vary_d("german", large_s=True, d_values=(2, 4), scale=TINY)
+        assert {row["algorithm"] for row in large} == {"greedy", "top-down"}
+
+    def test_cover_decreases_with_d(self):
+        rows = vary_d("german", methods=("greedy",), d_values=(2, 6),
+                      scale=0.3)
+        covers = {row["d"]: row["cover"] for row in rows}
+        assert covers[2] >= covers[6]
+
+    def test_vary_k(self):
+        rows = vary_k("wiki", k_values=(5, 10), scale=TINY)
+        covers = {}
+        for row in rows:
+            if row["algorithm"] == "greedy":
+                covers[row["k"]] = row["cover"]
+        assert covers[10] >= covers[5]
+
+    def test_vary_p_shrinks_graph(self):
+        rows = vary_p("stack", p_values=(0.3, 1.0), scale=TINY,
+                      methods=("bottom-up",))
+        assert {row["p"] for row in rows} == {0.3, 1.0}
+
+    def test_vary_q_clamps_s(self):
+        rows = vary_q("stack", q_values=(0.2,), scale=TINY,
+                      methods=("bottom-up",))
+        assert all(row["s"] <= 24 * 0.2 + 1 for row in rows)
+
+
+class TestAblation:
+    def test_preprocessing_variants(self):
+        rows = preprocessing_ablation("english", scale=TINY)
+        assert {row["variant"] for row in rows} == {
+            "full", "No-SL", "No-IR", "No-VD", "No-Pre",
+        }
+
+    def test_pruning_variants_td(self):
+        rows = pruning_ablation("english", large_s=True, scale=TINY)
+        assert "No-Index" in {row["variant"] for row in rows}
+
+    def test_search_space_reduction(self):
+        payload = search_space_reduction("english", scale=0.3)
+        assert payload["bu_candidates"] < payload["gd_candidates"]
+        assert 0.0 <= payload["reduction"] <= 1.0
+
+
+class TestComparisons:
+    def test_compare_mimag_row(self):
+        row, quasi, dcc = compare_mimag("ppi", 3, scale=0.5,
+                                        node_budget=4000)
+        assert row["dataset"] == "ppi"
+        assert 0.0 <= row["precision"] <= 1.0
+        assert 0.0 <= row["recall"] <= 1.0
+
+    def test_figure29_rows(self):
+        rows = figure29(dataset_names=("ppi",), d_values=(3,), scale=0.5,
+                        node_budget=3000)
+        assert len(rows) == 1
+
+    def test_figure30_distribution_sums_to_one(self):
+        payload = figure30("ppi", d=3, scale=0.5, node_budget=4000)
+        for fractions in payload["distribution"].values():
+            assert abs(sum(fractions.values()) - 1.0) < 1e-9
+
+    def test_figure31_classes(self):
+        payload = figure31("ppi", d=3, scale=0.5, node_budget=4000)
+        assert payload["both"] >= 0
+        assert set(payload["densities"]) == {"both", "only_dcc", "only_quasi"}
+
+    def test_figure32_rates(self):
+        rows = figure32(d_values=(3,), scale=0.6, node_budget=4000)
+        assert 0.0 <= rows[0]["bu_recovery"] <= 1.0
+
+
+class TestTables:
+    def test_format_table(self):
+        text = format_table(
+            [{"a": 1, "b": 2.5}], ["a", "b"], title="T"
+        )
+        assert "T" in text
+        assert "2.500" in text
+
+    def test_pivot_and_series(self):
+        rows = [
+            {"algorithm": "x", "s": 1, "time_s": 0.5},
+            {"algorithm": "x", "s": 2, "time_s": 0.7},
+        ]
+        series = pivot_series(rows, "s")
+        assert series["x"] == [(1, 0.5), (2, 0.7)]
+        assert "x" in format_series(rows, "s")
+
+    def test_figure12_table(self):
+        text = figure12_table(scale=TINY)
+        assert "ppi" in text
+        assert "328" in text  # the paper column
+
+    def test_figure13_table(self):
+        text = figure13_table()
+        assert "s (small)" in text
+
+    def test_figure30_table_render(self):
+        payload = {
+            "dataset": "ppi", "d": 3,
+            "distribution": {3: {3: 1.0}},
+            "fully_contained": 1.0,
+        }
+        assert "|Q|=3" in figure30_table(payload)
+
+
+class TestRunner:
+    def test_sweep_records_parameter(self):
+        from repro.datasets import load
+        graph = load("ppi", scale=0.4).graph
+        rows = sweep(
+            graph, "d", (2, 3), {"d": 2, "s": 2, "k": 3}, ("bottom-up",)
+        )
+        assert [row["d"] for row in rows] == [2, 3]
+        assert all("time_s" in row for row in rows)

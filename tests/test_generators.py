@@ -1,0 +1,133 @@
+"""Tests for the synthetic graph generators."""
+
+import pytest
+
+from repro.core.dcc import coherent_core
+from repro.graph.generators import (
+    chung_lu_layers,
+    erdos_renyi_layers,
+    paper_figure1_graph,
+    planted_communities,
+    random_coherent_graph,
+    temporal_snapshots,
+)
+from repro.utils.errors import ParameterError
+
+
+class TestErdosRenyi:
+    def test_shape(self):
+        g = erdos_renyi_layers(30, 3, 0.2, seed=1)
+        assert g.num_vertices == 30
+        assert g.num_layers == 3
+        assert g.validate()
+
+    def test_p_zero_empty(self):
+        g = erdos_renyi_layers(10, 2, 0.0, seed=1)
+        assert g.total_edges() == 0
+
+    def test_p_one_complete(self):
+        g = erdos_renyi_layers(6, 1, 1.0, seed=1)
+        assert g.num_edges(0) == 15
+
+    def test_deterministic(self):
+        a = erdos_renyi_layers(20, 2, 0.3, seed=9)
+        b = erdos_renyi_layers(20, 2, 0.3, seed=9)
+        assert a == b
+
+    def test_invalid_probability(self):
+        with pytest.raises(ParameterError):
+            erdos_renyi_layers(5, 1, 1.5)
+
+    def test_density_roughly_matches(self):
+        g = erdos_renyi_layers(120, 1, 0.1, seed=4)
+        expected = 0.1 * 119 * 120 / 2
+        assert 0.6 * expected < g.num_edges(0) < 1.4 * expected
+
+
+class TestChungLu:
+    def test_shape_and_heavy_tail(self):
+        g = chung_lu_layers(80, 2, average_degree=4, seed=2)
+        assert g.num_vertices == 80
+        degrees = sorted(
+            (g.degree(0, v) for v in g.vertices()), reverse=True
+        )
+        # Power-law-ish: the top vertex clearly beats the median.
+        assert degrees[0] >= 2 * max(1, degrees[len(degrees) // 2])
+
+    def test_invalid_degree(self):
+        with pytest.raises(ParameterError):
+            chung_lu_layers(10, 1, 0)
+
+
+class TestPlantedCommunities:
+    def test_planted_block_is_dense(self):
+        members = list(range(10))
+        g, planted = planted_communities(
+            40, 3, [(members, [0, 1], 1.0)], seed=3
+        )
+        assert planted == [frozenset(members)]
+        # With p_in = 1 the block is a clique on the planted layers.
+        core = coherent_core(g, [0, 1], 9)
+        assert frozenset(members) <= core
+
+    def test_background_noise(self):
+        g, _ = planted_communities(50, 2, [], background=0.1, seed=3)
+        assert g.total_edges() > 0
+
+    def test_member_out_of_range(self):
+        with pytest.raises(ParameterError):
+            planted_communities(5, 1, [([10], [0], 1.0)])
+
+    def test_random_coherent_graph(self):
+        g, planted = random_coherent_graph(
+            60, 4, num_communities=3, community_size=8,
+            layers_per_community=2, seed=5,
+        )
+        assert len(planted) == 3
+        assert all(len(c) == 8 for c in planted)
+        assert g.num_layers == 4
+
+    def test_random_coherent_validation(self):
+        with pytest.raises(ParameterError):
+            random_coherent_graph(5, 2, 1, community_size=9,
+                                  layers_per_community=1)
+        with pytest.raises(ParameterError):
+            random_coherent_graph(9, 2, 1, community_size=3,
+                                  layers_per_community=5)
+
+
+class TestTemporalSnapshots:
+    def test_stories_span_windows(self):
+        g, stories = temporal_snapshots(
+            40, 6, events_per_layer=3, seed=7
+        )
+        assert g.num_layers == 6
+        assert stories
+        for members, (start, end) in stories:
+            assert 0 <= start <= end < 6
+            assert len(members) == 6
+
+
+class TestPaperFigure1:
+    def test_vertices(self):
+        g = paper_figure1_graph()
+        assert g.num_vertices == 15
+        assert g.num_layers == 4
+
+    def test_block_dense_on_all_layers(self):
+        g = paper_figure1_graph()
+        for layer in g.layers():
+            core = coherent_core(g, [layer], 3)
+            assert set("abcdefghi") <= core
+
+    def test_appendage_sparse(self):
+        g = paper_figure1_graph()
+        for layer in g.layers():
+            assert g.degree(layer, "j") <= 2
+
+    def test_example_claims(self):
+        g = paper_figure1_graph()
+        assert coherent_core(g, [0, 2], 3) == frozenset("abcdefghi") | {"y", "m"}
+        assert coherent_core(g, [1, 3], 3) == (
+            frozenset("abcdefghi") | {"m", "n", "k"}
+        )

@@ -1,0 +1,138 @@
+"""Tests for graph I/O, builders and views."""
+
+import pytest
+
+from repro.graph import (
+    LayerView,
+    MultiLayerGraph,
+    from_adjacency,
+    from_edge_lists,
+    from_json_dict,
+    from_networkx_layers,
+    read_edge_list,
+    read_json,
+    replicate_layer,
+    to_json_dict,
+    write_edge_list,
+    write_json,
+)
+from repro.utils.errors import ParameterError, VertexError
+
+
+def sample_graph():
+    g = MultiLayerGraph(2, vertices=["a", "b", "c", "lonely"])
+    g.add_edge(0, "a", "b")
+    g.add_edge(1, "b", "c")
+    return g
+
+
+class TestEdgeListRoundTrip:
+    def test_round_trip(self, tmp_path):
+        g = sample_graph()
+        path = tmp_path / "graph.txt"
+        write_edge_list(g, path)
+        back = read_edge_list(path)
+        assert back.num_layers == 2
+        assert back.vertices() == {"a", "b", "c", "lonely"}
+        assert back.has_edge(0, "a", "b")
+        assert back.has_edge(1, "b", "c")
+
+    def test_malformed_line(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("0 a\n")
+        with pytest.raises(ParameterError):
+            read_edge_list(path)
+
+    def test_empty_file_without_layers(self, tmp_path):
+        path = tmp_path / "empty.txt"
+        path.write_text("")
+        with pytest.raises(ParameterError):
+            read_edge_list(path)
+        assert read_edge_list(path, num_layers=3).num_layers == 3
+
+    def test_layer_count_inferred(self, tmp_path):
+        path = tmp_path / "no-header.txt"
+        path.write_text("0 a b\n2 b c\n")
+        assert read_edge_list(path).num_layers == 3
+
+
+class TestJsonRoundTrip:
+    def test_round_trip_dict(self):
+        g = sample_graph()
+        back = from_json_dict(to_json_dict(g))
+        assert back.vertices() == g.vertices()
+        assert back.has_edge(0, "a", "b")
+        assert back.num_layers == g.num_layers
+
+    def test_round_trip_file(self, tmp_path):
+        g = sample_graph()
+        path = tmp_path / "graph.json"
+        write_json(g, path)
+        back = read_json(path, name="renamed")
+        assert back.name == "renamed"
+        assert back.union_edge_count() == g.union_edge_count()
+
+
+class TestBuilders:
+    def test_from_edge_lists(self):
+        g = from_edge_lists([[("a", "b")], [("b", "c")]], vertices=["z"])
+        assert g.num_layers == 2
+        assert "z" in g
+
+    def test_from_edge_lists_empty(self):
+        with pytest.raises(ParameterError):
+            from_edge_lists([])
+
+    def test_from_adjacency_symmetrises(self):
+        g = from_adjacency([{"a": ["b"], "b": []}])
+        assert g.has_edge(0, "b", "a")
+
+    def test_from_networkx_like(self):
+        class FakeGraph:
+            nodes = ["a", "b", "c"]
+            edges = [("a", "b"), ("c", "c")]
+
+        g = from_networkx_layers([FakeGraph()])
+        assert g.has_edge(0, "a", "b")
+        assert not g.has_edge(0, "c", "c")
+
+    def test_replicate_layer(self):
+        g = replicate_layer([("a", "b")], 3)
+        assert all(g.has_edge(layer, "a", "b") for layer in g.layers())
+        with pytest.raises(ParameterError):
+            replicate_layer([("a", "b")], 0)
+
+
+class TestLayerView:
+    def test_basic_view(self):
+        view = LayerView(sample_graph(), 0)
+        assert view.degree("a") == 1
+        assert view.has_edge("a", "b")
+        assert not view.has_edge("b", "c")
+
+    def test_induced_view(self):
+        g = sample_graph()
+        view = LayerView(g, 0, within={"a", "c"})
+        assert view.degree("a") == 0
+        assert "b" not in view
+
+    def test_view_outside_vertex(self):
+        view = LayerView(sample_graph(), 0, within={"a"})
+        with pytest.raises(VertexError):
+            view.neighbors("b")
+
+    def test_density_and_min_degree(self):
+        g = replicate_layer(
+            [(0, 1), (1, 2), (0, 2)], 1
+        )
+        view = LayerView(g, 0)
+        assert view.density() == 1.0
+        assert view.min_degree() == 2
+        assert view.is_d_dense(2)
+        assert not view.is_d_dense(3)
+
+    def test_empty_view(self):
+        view = LayerView(sample_graph(), 0, within=set())
+        assert view.min_degree() == 0
+        assert view.density() == 0.0
+        assert view.num_edges() == 0

@@ -1,0 +1,102 @@
+"""Tests for the incremental multi-layer core maintainer."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.dcore import d_core
+from repro.core.maintain import MultiLayerCoreMaintainer
+from repro.core.stats import SearchStats
+from repro.graph import MultiLayerGraph
+from tests.strategies import multilayer_graphs
+
+
+def ladder_graph():
+    g = MultiLayerGraph(2, vertices=range(6))
+    # Layer 0: 6-cycle; layer 1: two triangles.
+    for i in range(6):
+        g.add_edge(0, i, (i + 1) % 6)
+    for tri in ((0, 1, 2), (3, 4, 5)):
+        for i, u in enumerate(tri):
+            for v in tri[i + 1:]:
+                g.add_edge(1, u, v)
+    return g
+
+
+class TestMaintainer:
+    def test_initial_state_matches_scratch(self):
+        m = MultiLayerCoreMaintainer(ladder_graph(), 2)
+        m.check_consistency()
+        assert m.support[0] == 2
+
+    def test_remove_cascades(self):
+        g = ladder_graph()
+        m = MultiLayerCoreMaintainer(g, 2)
+        m.remove([0])
+        # Layer 0's 2-core dies entirely (cycle broken); layer 1 keeps the
+        # triangle {3,4,5} and loses {1,2}.
+        assert m.cores[0] == set()
+        assert m.cores[1] == {3, 4, 5}
+        m.check_consistency()
+
+    def test_remove_dead_vertex_is_noop(self):
+        m = MultiLayerCoreMaintainer(ladder_graph(), 2)
+        m.remove([0])
+        before = [set(core) for core in m.cores]
+        m.remove([0])
+        assert [set(core) for core in m.cores] == before
+
+    def test_within_restriction(self):
+        g = ladder_graph()
+        m = MultiLayerCoreMaintainer(g, 2, within={0, 1, 2, 3})
+        assert m.cores[1] == {0, 1, 2}
+        assert m.alive == {0, 1, 2, 3}
+
+    def test_stats_counted(self):
+        stats = SearchStats()
+        MultiLayerCoreMaintainer(ladder_graph(), 2, stats=stats)
+        assert stats.dcc_calls == 2
+
+    def test_layers_containing(self):
+        m = MultiLayerCoreMaintainer(ladder_graph(), 2)
+        assert m.layers_containing(0) == frozenset({0, 1})
+        m.remove([4])
+        # Removing 4 breaks the layer-0 cycle (2-core empties) and peels
+        # {3, 5} from the layer-1 triangle.
+        assert m.layers_containing(3) == frozenset()
+        assert m.layers_containing(1) == frozenset({1})
+
+    @given(
+        multilayer_graphs(max_vertices=9, max_layers=3),
+        st.integers(min_value=0, max_value=4),
+        st.lists(st.integers(min_value=0, max_value=8), max_size=8),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_equivalent_to_recompute_after_any_deletions(self, graph, d, removals):
+        m = MultiLayerCoreMaintainer(graph, d)
+        vertices = sorted(graph.vertices())
+        for index in removals:
+            if not vertices:
+                break
+            victim = vertices[index % len(vertices)]
+            m.remove([victim])
+            if victim in vertices:
+                vertices.remove(victim)
+            for layer in graph.layers():
+                assert m.cores[layer] == d_core(
+                    graph.adjacency(layer), d, within=m.alive
+                )
+        m.check_consistency()
+
+    @given(multilayer_graphs(max_vertices=9, max_layers=3))
+    @settings(max_examples=40, deadline=None)
+    def test_batch_removal_equals_sequential(self, graph):
+        vertices = sorted(graph.vertices())
+        batch = vertices[::2]
+        together = MultiLayerCoreMaintainer(graph, 2)
+        together.remove(batch)
+        one_by_one = MultiLayerCoreMaintainer(graph, 2)
+        for vertex in batch:
+            one_by_one.remove([vertex])
+        assert together.alive == one_by_one.alive
+        for layer in graph.layers():
+            assert together.cores[layer] == one_by_one.cores[layer]

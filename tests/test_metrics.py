@@ -1,0 +1,127 @@
+"""Tests for the evaluation metrics."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph import MultiLayerGraph
+from repro.metrics import (
+    class_densities,
+    complex_recovery_rate,
+    complexes_found,
+    containment_distribution,
+    cover,
+    cover_difference_classes,
+    cover_size,
+    exclusive_counts,
+    f1_score,
+    fully_contained_fraction,
+    jaccard,
+    overlap_matrix,
+    precision,
+    recall,
+    recovery_by_cover,
+)
+
+SETS_A = [{1, 2, 3}, {3, 4}]
+SETS_B = [{2, 3}, {4, 5}]
+
+
+class TestCoverMetrics:
+    def test_cover(self):
+        assert cover(SETS_A) == {1, 2, 3, 4}
+        assert cover_size(SETS_A) == 4
+
+    def test_cover_empty(self):
+        assert cover([]) == set()
+        assert cover_size([]) == 0
+
+    def test_precision(self):
+        # Cov(A) = {1,2,3,4}, Cov(B) = {2,3,4,5}; intersection = {2,3,4}.
+        assert precision(SETS_A, SETS_B) == 3 / 4
+
+    def test_recall(self):
+        assert recall(SETS_A, SETS_B) == 3 / 4
+
+    def test_f1(self):
+        assert abs(f1_score(SETS_A, SETS_B) - 0.75) < 1e-12
+
+    def test_empty_edge_cases(self):
+        assert precision(SETS_A, []) == 0.0
+        assert recall([], SETS_B) == 0.0
+        assert f1_score([], []) == 0.0
+
+    def test_jaccard(self):
+        assert jaccard(SETS_A, SETS_B) == 3 / 5
+        assert jaccard([], []) == 1.0
+
+    def test_overlap_matrix(self):
+        matrix = overlap_matrix([{1, 2}, {2, 3}])
+        assert matrix[0][0] == 1.0
+        assert matrix[0][1] == matrix[1][0] == 1 / 3
+
+    def test_exclusive_counts(self):
+        counts = exclusive_counts([{1, 2, 3}, {3, 4}])
+        assert counts == [2, 1]
+
+    @given(st.lists(
+        st.frozensets(st.integers(min_value=0, max_value=12), max_size=6),
+        min_size=1, max_size=5,
+    ))
+    @settings(max_examples=60, deadline=None)
+    def test_precision_recall_symmetry(self, sets):
+        """precision(A, B) == recall(B, A) by definition."""
+        other = [frozenset({1, 2, 3})]
+        assert precision(other, sets) == recall(sets, other)
+
+
+class TestContainment:
+    def test_distribution(self):
+        cliques = [{1, 2, 3}, {1, 2, 9}, {7, 8, 9}]
+        dist = containment_distribution(cliques, {1, 2, 3, 4})
+        assert dist[3][3] == 1 / 3
+        assert dist[3][2] == 1 / 3
+        assert dist[3][0] == 1 / 3
+
+    def test_fully_contained_fraction(self):
+        cliques = [{1, 2}, {1, 9}]
+        assert fully_contained_fraction(cliques, {1, 2, 3}) == 0.5
+        assert fully_contained_fraction([], {1}) == 0.0
+
+    def test_cover_difference_classes(self):
+        both, only_dcc, only_quasi = cover_difference_classes(
+            {1, 2, 3}, {2, 3, 4}
+        )
+        assert both == {2, 3}
+        assert only_dcc == {1}
+        assert only_quasi == {4}
+
+    def test_class_densities_shape(self):
+        g = MultiLayerGraph(1, vertices=range(5))
+        for u, v in ((0, 1), (1, 2), (0, 2), (2, 3)):
+            g.add_edge(0, u, v)
+        densities = class_densities(g, {0, 1, 2}, {2, 3})
+        assert set(densities) == {"both", "only_dcc", "only_quasi"}
+        # only_quasi = {3}, connected only to 2 (in `both`): degree 1.
+        assert densities["only_quasi"] == 1.0
+
+
+class TestComplexes:
+    def test_complexes_found(self):
+        complexes = [{1, 2}, {3, 4}, {5}]
+        dense = [{1, 2, 3}, {5, 6}]
+        found = complexes_found(complexes, dense)
+        assert frozenset({1, 2}) in found
+        assert frozenset({5}) in found
+        assert frozenset({3, 4}) not in found
+
+    def test_recovery_rate(self):
+        complexes = [{1, 2}, {3, 4}]
+        assert complex_recovery_rate(complexes, [{1, 2, 9}]) == 0.5
+        assert complex_recovery_rate([], [{1}]) == 0.0
+
+    def test_recovery_by_cover_upper_bounds_strict(self):
+        complexes = [{1, 4}]
+        dense = [{1, 2}, {3, 4}]
+        # Split across two subgraphs: strict containment fails, cover holds.
+        assert complex_recovery_rate(complexes, dense) == 0.0
+        assert recovery_by_cover(complexes, dense) == 1.0

@@ -1,0 +1,193 @@
+"""Unit tests for the MultiLayerGraph substrate."""
+
+import pytest
+
+from repro.graph import MultiLayerGraph
+from repro.utils.errors import (
+    GraphError,
+    LayerIndexError,
+    ParameterError,
+    VertexError,
+)
+
+
+def small_graph():
+    g = MultiLayerGraph(3, vertices=["a", "b", "c", "d"])
+    g.add_edge(0, "a", "b")
+    g.add_edge(0, "b", "c")
+    g.add_edge(1, "a", "c")
+    g.add_edge(2, "a", "b")
+    g.add_edge(2, "c", "d")
+    return g
+
+
+class TestConstruction:
+    def test_requires_at_least_one_layer(self):
+        with pytest.raises(ParameterError):
+            MultiLayerGraph(0)
+
+    def test_initial_vertices(self):
+        g = MultiLayerGraph(2, vertices=[1, 2, 3])
+        assert g.num_vertices == 3
+        assert g.vertices() == {1, 2, 3}
+
+    def test_num_layers(self):
+        assert MultiLayerGraph(5).num_layers == 5
+
+    def test_vertices_isolated_on_all_layers(self):
+        g = MultiLayerGraph(3, vertices=["x"])
+        for layer in g.layers():
+            assert g.degree(layer, "x") == 0
+
+    def test_empty_graph_len(self):
+        assert len(MultiLayerGraph(1)) == 0
+
+    def test_name(self):
+        assert MultiLayerGraph(1, name="demo").name == "demo"
+
+
+class TestMutation:
+    def test_add_edge_creates_endpoints(self):
+        g = MultiLayerGraph(2)
+        g.add_edge(1, "u", "v")
+        assert "u" in g and "v" in g
+        assert g.has_edge(1, "u", "v")
+        assert not g.has_edge(0, "u", "v")
+
+    def test_add_edge_is_symmetric(self):
+        g = small_graph()
+        assert "b" in g.neighbors(0, "a")
+        assert "a" in g.neighbors(0, "b")
+
+    def test_self_loop_rejected(self):
+        g = MultiLayerGraph(1)
+        with pytest.raises(ParameterError):
+            g.add_edge(0, "v", "v")
+
+    def test_duplicate_edge_is_noop(self):
+        g = MultiLayerGraph(1)
+        g.add_edge(0, "a", "b")
+        g.add_edge(0, "a", "b")
+        assert g.num_edges(0) == 1
+
+    def test_bad_layer(self):
+        g = MultiLayerGraph(2)
+        with pytest.raises(LayerIndexError):
+            g.add_edge(2, "a", "b")
+        with pytest.raises(LayerIndexError):
+            g.add_edge(-1, "a", "b")
+
+    def test_remove_edge(self):
+        g = small_graph()
+        g.remove_edge(0, "a", "b")
+        assert not g.has_edge(0, "a", "b")
+        assert g.has_edge(2, "a", "b")
+
+    def test_remove_missing_edge(self):
+        g = small_graph()
+        with pytest.raises(GraphError):
+            g.remove_edge(1, "b", "d")
+
+    def test_remove_vertex(self):
+        g = small_graph()
+        g.remove_vertex("b")
+        assert "b" not in g
+        assert "b" not in g.neighbors(0, "a")
+        assert g.validate()
+
+    def test_remove_missing_vertex(self):
+        g = small_graph()
+        with pytest.raises(VertexError):
+            g.remove_vertex("zz")
+
+    def test_remove_vertices(self):
+        g = small_graph()
+        g.remove_vertices(["a", "b"])
+        assert g.vertices() == {"c", "d"}
+        assert g.validate()
+
+
+class TestQueries:
+    def test_degree(self):
+        g = small_graph()
+        assert g.degree(0, "b") == 2
+        assert g.degree(1, "b") == 0
+
+    def test_min_degree_over(self):
+        g = small_graph()
+        assert g.min_degree_over([0, 2], "a") == 1
+        assert g.min_degree_over([0, 1], "b") == 0
+
+    def test_num_edges(self):
+        g = small_graph()
+        assert g.num_edges(0) == 2
+        assert g.num_edges(1) == 1
+        assert g.total_edges() == 5
+
+    def test_union_edge_count(self):
+        g = small_graph()
+        # Distinct pairs: ab, bc, ac, cd.
+        assert g.union_edge_count() == 4
+
+    def test_edges_emitted_once(self):
+        g = small_graph()
+        edges = list(g.edges(0))
+        assert len(edges) == 2
+        assert len({frozenset(edge) for edge in edges}) == 2
+
+    def test_all_edges(self):
+        g = small_graph()
+        assert sum(1 for _ in g.all_edges()) == 5
+
+    def test_neighbors_of_missing_vertex(self):
+        g = small_graph()
+        with pytest.raises(VertexError):
+            g.neighbors(0, "zz")
+
+    def test_summary(self):
+        summary = small_graph().summary()
+        assert summary["vertices"] == 4
+        assert summary["layers"] == 3
+
+
+class TestDerivedGraphs:
+    def test_copy_is_independent(self):
+        g = small_graph()
+        h = g.copy()
+        h.add_edge(1, "b", "d")
+        assert not g.has_edge(1, "b", "d")
+        assert g != h
+
+    def test_copy_equality(self):
+        g = small_graph()
+        assert g.copy() == g
+
+    def test_induced_subgraph(self):
+        g = small_graph()
+        sub = g.induced_subgraph({"a", "b", "c"})
+        assert sub.vertices() == {"a", "b", "c"}
+        assert sub.has_edge(0, "a", "b")
+        assert not sub.has_edge(2, "c", "d")
+        assert sub.validate()
+
+    def test_induced_subgraph_ignores_unknown(self):
+        g = small_graph()
+        sub = g.induced_subgraph({"a", "nope"})
+        assert sub.vertices() == {"a"}
+
+    def test_subgraph_of_layers(self):
+        g = small_graph()
+        sub = g.subgraph_of_layers([0, 2])
+        assert sub.num_layers == 2
+        assert sub.has_edge(1, "c", "d")
+        assert sub.vertices() == g.vertices()
+
+    def test_subgraph_of_layers_empty(self):
+        with pytest.raises(ParameterError):
+            small_graph().subgraph_of_layers([])
+
+    def test_validate_detects_asymmetry(self):
+        g = small_graph()
+        g.adjacency(0)["a"].add("d")  # corrupt on purpose
+        with pytest.raises(GraphError):
+            g.validate()

@@ -1,0 +1,131 @@
+"""The paper's narrative claims, as executable tests.
+
+Beyond the formal properties (tested elsewhere), the paper makes several
+concrete claims in its introduction and proofs; this module pins them:
+
+* the Theorem 1 reduction — max-k-cover instances map to DCCS instances
+  with d = s = 1 and identical optima;
+* the introduction's dilemma — the Fig. 1 dense block is *missed* by
+  cross-graph quasi-cliques at γ >= 0.5 yet found as a 3-CC, while a
+  sparse appendage *is* accepted at small γ;
+* the diameter-2 property of γ >= 0.5 quasi-cliques, which bounds how
+  large they can be.
+"""
+
+from itertools import combinations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.exact import exact_dccs, max_k_cover_exact
+from repro.baselines.quasiclique import is_quasi_clique
+from repro.core.dcc import coherent_core
+from repro.graph import MultiLayerGraph, paper_figure1_graph
+
+
+def reduction_graph(family):
+    """The Theorem 1 construction: one layer per set, a clique per set."""
+    vertices = set()
+    for members in family:
+        vertices |= set(members)
+    graph = MultiLayerGraph(max(1, len(family)), vertices=vertices)
+    for layer, members in enumerate(family):
+        members = sorted(members)
+        for i, u in enumerate(members):
+            for v in members[i + 1:]:
+                graph.add_edge(layer, u, v)
+    return graph
+
+
+class TestTheorem1Reduction:
+    @given(
+        st.lists(
+            st.frozensets(st.integers(min_value=0, max_value=9),
+                          min_size=2, max_size=5),
+            min_size=1, max_size=5,
+        ),
+        st.integers(min_value=1, max_value=3),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_dccs_solves_max_k_cover(self, family, k):
+        """DCCS with d = s = 1 on the reduction == max-k-cover optimum."""
+        graph = reduction_graph(family)
+        dccs_opt = exact_dccs(graph, d=1, s=1, k=k, max_candidates=64)
+        picked = max_k_cover_exact([frozenset(m) for m in family], k)
+        cover = set()
+        for index in picked:
+            cover |= family[index]
+        assert dccs_opt.cover_size == len(cover)
+
+    def test_single_layer_core_is_the_set(self):
+        family = [frozenset({1, 2, 3}), frozenset({3, 4})]
+        graph = reduction_graph(family)
+        for layer, members in enumerate(family):
+            assert coherent_core(graph, [layer], 1) == members
+
+
+class TestIntroductionDilemma:
+    def test_dense_block_missed_by_strict_quasi_cliques(self):
+        """For γ >= 0.5 the 9-vertex block is not a quasi-clique on any
+        layer (it is a sparse circulant), yet it is a 3-CC everywhere."""
+        graph = paper_figure1_graph()
+        block = set("abcdefghi")
+        for layer in graph.layers():
+            assert not is_quasi_clique(graph, layer, block, 0.8)
+            assert block <= coherent_core(graph, [layer], 3)
+
+    def test_loose_gamma_admits_sparse_sets(self):
+        """For small γ, loosely connected sets pass the quasi-clique test
+        — the false-positive half of the dilemma."""
+        graph = paper_figure1_graph()
+        appendage = {"g", "h", "i", "j"}
+        # j has only 2 of its 3 possible neighbours; γ = 0.3 needs just
+        # ceil(0.9) = 1 neighbour, so the sparse set qualifies.
+        assert is_quasi_clique(graph, 0, appendage, 0.3)
+        # ...but it is never part of a 3-CC.
+        assert "j" not in coherent_core(graph, [0], 3)
+
+    def test_dcc_has_no_diameter_limit(self):
+        """A long 3-regular-ish ring is one single d-CC despite a large
+        diameter — the structural advantage over quasi-cliques."""
+        n = 30
+        graph = MultiLayerGraph(2, vertices=range(n))
+        for layer in graph.layers():
+            for i in range(n):
+                graph.add_edge(layer, i, (i + 1) % n)
+                graph.add_edge(layer, i, (i + 2) % n)
+        core = coherent_core(graph, [0, 1], 3)
+        assert core == frozenset(range(n))
+        # The same ring can never be a 0.5-quasi-clique: that would need
+        # degree >= ceil(0.5 * 29) = 15, but the ring has degree 4.
+        assert not is_quasi_clique(graph, 0, set(range(n)), 0.5)
+
+
+class TestDiameterBound:
+    @pytest.mark.parametrize("size", [4, 5, 6])
+    def test_gamma_half_quasi_cliques_have_diameter_two(self, size):
+        """Exhaustive check on small graphs: any 0.5-quasi-clique found
+        has diameter <= 2 (the [11] theorem the paper cites)."""
+        import random
+
+        rng = random.Random(7)
+        for _ in range(20):
+            graph = MultiLayerGraph(1, vertices=range(size + 2))
+            for i in range(size + 2):
+                for j in range(i + 1, size + 2):
+                    if rng.random() < 0.5:
+                        graph.add_edge(0, i, j)
+            for combo in combinations(range(size + 2), size):
+                if not is_quasi_clique(graph, 0, combo, 0.5):
+                    continue
+                members = set(combo)
+                adjacency = graph.adjacency(0)
+                for u in members:
+                    reach = ({u} | (adjacency[u] & members))
+                    reach |= {
+                        w
+                        for v in adjacency[u] & members
+                        for w in adjacency[v] & members
+                    }
+                    assert members <= reach

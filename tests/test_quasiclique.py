@@ -1,0 +1,188 @@
+"""Tests for the quasi-clique predicates and the MiMAG-style miner."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.mimag import _diversify, _maximal_only, mimag
+from repro.baselines.quasiclique import (
+    is_cross_graph_quasi_clique,
+    is_quasi_clique,
+    quasi_clique_diameter_bound,
+    quasi_clique_threshold,
+    supporting_layers,
+)
+from repro.graph import MultiLayerGraph, replicate_layer
+from repro.utils.errors import ParameterError
+from tests.strategies import multilayer_graphs
+
+
+def clique_and_path():
+    g = MultiLayerGraph(2, vertices=range(7))
+    # Layer 0: K4 {0..3} plus a path 3-4-5-6; layer 1: K4 only.
+    block = (0, 1, 2, 3)
+    for layer in (0, 1):
+        for i, u in enumerate(block):
+            for v in block[i + 1:]:
+                g.add_edge(layer, u, v)
+    g.add_edge(0, 3, 4)
+    g.add_edge(0, 4, 5)
+    g.add_edge(0, 5, 6)
+    return g
+
+
+class TestThreshold:
+    def test_gamma_one_is_clique(self):
+        assert quasi_clique_threshold(1.0, 5) == 4
+
+    def test_gamma_zero(self):
+        assert quasi_clique_threshold(0.0, 5) == 0
+
+    def test_rounding_up(self):
+        # 0.8 * 4 = 3.2 -> 4.
+        assert quasi_clique_threshold(0.8, 5) == 4
+        # 0.8 * 5 = 4.0 exactly -> 4.
+        assert quasi_clique_threshold(0.8, 6) == 4
+
+    def test_invalid_gamma(self):
+        with pytest.raises(ParameterError):
+            quasi_clique_threshold(1.5, 3)
+
+
+class TestPredicates:
+    def test_clique_is_quasi_clique(self):
+        g = clique_and_path()
+        assert is_quasi_clique(g, 0, {0, 1, 2, 3}, 1.0)
+        assert is_quasi_clique(g, 1, {0, 1, 2, 3}, 0.8)
+
+    def test_path_is_not_dense(self):
+        g = clique_and_path()
+        assert not is_quasi_clique(g, 0, {3, 4, 5, 6}, 0.8)
+        assert is_quasi_clique(g, 0, {4, 5}, 1.0)
+
+    def test_empty_set(self):
+        assert not is_quasi_clique(clique_and_path(), 0, set(), 0.5)
+
+    def test_unknown_vertex(self):
+        assert not is_quasi_clique(clique_and_path(), 0, {0, 99}, 0.5)
+
+    def test_supporting_layers(self):
+        g = clique_and_path()
+        assert supporting_layers(g, {0, 1, 2, 3}, 0.8) == [0, 1]
+        assert supporting_layers(g, {4, 5}, 1.0) == [0]
+
+    def test_cross_graph_all_layers(self):
+        g = clique_and_path()
+        assert is_cross_graph_quasi_clique(g, {0, 1, 2, 3}, 0.8)
+        assert not is_cross_graph_quasi_clique(g, {4, 5}, 1.0)
+
+    def test_cross_graph_min_support(self):
+        g = clique_and_path()
+        assert is_cross_graph_quasi_clique(g, {4, 5}, 1.0, min_support=1)
+
+    def test_cross_graph_explicit_layers(self):
+        g = clique_and_path()
+        assert is_cross_graph_quasi_clique(g, {4, 5}, 1.0, layers=[0])
+
+    def test_diameter_bound(self):
+        assert quasi_clique_diameter_bound(0.5) == 2
+        assert quasi_clique_diameter_bound(0.9) == 2
+        assert quasi_clique_diameter_bound(0.4) is None
+
+
+class TestMiner:
+    def test_finds_planted_clique(self):
+        g = replicate_layer(
+            [(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)], 3
+        )
+        result = mimag(g, gamma=0.8, min_size=3, min_support=2)
+        assert frozenset({0, 1, 2, 3}) in result.clusters
+        assert not result.truncated
+
+    def test_min_size_respected(self):
+        g = replicate_layer([(0, 1), (1, 2), (0, 2)], 2)
+        result = mimag(g, gamma=1.0, min_size=4, min_support=1)
+        assert result.clusters == []
+
+    def test_support_respected(self):
+        g = MultiLayerGraph(3, vertices=range(3))
+        for u, v in ((0, 1), (1, 2), (0, 2)):
+            g.add_edge(0, u, v)
+        # Triangle only on layer 0 -> support 1.
+        assert mimag(g, gamma=1.0, min_size=3, min_support=2).clusters == []
+        found = mimag(g, gamma=1.0, min_size=3, min_support=1).clusters
+        assert frozenset({0, 1, 2}) in found
+
+    def test_invalid_parameters(self):
+        g = clique_and_path()
+        with pytest.raises(ParameterError):
+            mimag(g, 0.8, 1, 1)
+        with pytest.raises(ParameterError):
+            mimag(g, 0.8, 3, 9)
+
+    def test_node_budget_truncates(self):
+        g = replicate_layer(
+            [(i, j) for i in range(12) for j in range(i + 1, 12)], 2
+        )
+        result = mimag(g, gamma=0.8, min_size=3, min_support=1,
+                       node_budget=10)
+        assert result.truncated
+
+    def test_max_cluster_size(self):
+        g = replicate_layer(
+            [(i, j) for i in range(6) for j in range(i + 1, 6)], 2
+        )
+        result = mimag(g, gamma=1.0, min_size=3, min_support=2,
+                       max_cluster_size=4)
+        assert all(len(c) <= 4 for c in result.all_maximal)
+
+    @given(multilayer_graphs(max_vertices=7, max_layers=2))
+    @settings(max_examples=25, deadline=None)
+    def test_every_cluster_satisfies_definition(self, graph):
+        result = mimag(graph, gamma=0.8, min_size=2, min_support=1,
+                       node_budget=5000)
+        for cluster in result.all_maximal:
+            assert len(supporting_layers(graph, cluster, 0.8)) >= 1
+            assert len(cluster) >= 2
+
+    def test_complete_enumeration_on_small_graph(self):
+        # Exhaustive check: on a tiny graph the miner finds every maximal
+        # cross-graph quasi-clique that brute force finds.
+        from itertools import combinations
+        g = clique_and_path()
+        gamma, min_size, min_support = 0.8, 3, 2
+        result = mimag(g, gamma, min_size, min_support, node_budget=100000)
+        assert not result.truncated
+        valid = []
+        vertices = sorted(g.vertices())
+        for size in range(min_size, len(vertices) + 1):
+            for combo in combinations(vertices, size):
+                layers = supporting_layers(g, combo, gamma)
+                if len(layers) >= min_support:
+                    valid.append(frozenset(combo))
+        maximal = [
+            c for c in valid if not any(c < other for other in valid)
+        ]
+        assert sorted(map(sorted, result.all_maximal)) == sorted(
+            map(sorted, maximal)
+        )
+
+
+class TestPostprocessing:
+    def test_maximal_only(self):
+        sets = [frozenset({1, 2}), frozenset({1, 2, 3}), frozenset({4})]
+        kept = _maximal_only(sets)
+        assert frozenset({1, 2}) not in kept
+        assert frozenset({1, 2, 3}) in kept
+        assert frozenset({4}) in kept
+
+    def test_diversify_drops_redundant(self):
+        clusters = [
+            frozenset(range(10)),
+            frozenset(range(9)),       # 90% covered already
+            frozenset(range(20, 24)),  # novel
+        ]
+        kept = _diversify(clusters, redundancy=0.25)
+        assert frozenset(range(10)) in kept
+        assert frozenset(range(9)) not in kept
+        assert frozenset(range(20, 24)) in kept

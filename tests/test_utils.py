@@ -1,0 +1,100 @@
+"""Tests for the utility modules."""
+
+import random
+import time
+
+import pytest
+
+from repro.core.result import DCCSResult
+from repro.core.stats import SearchStats
+from repro.utils import Timer, make_rng, sample_subset
+from repro.utils.errors import (
+    GraphError,
+    LayerIndexError,
+    ParameterError,
+    VertexError,
+)
+
+
+class TestErrors:
+    def test_hierarchy(self):
+        assert issubclass(VertexError, GraphError)
+        assert issubclass(VertexError, KeyError)
+        assert issubclass(LayerIndexError, IndexError)
+        assert issubclass(ParameterError, ValueError)
+
+    def test_messages(self):
+        assert "'v'" in str(VertexError("v"))
+        assert "3" in str(LayerIndexError(3, 2))
+
+
+class TestTimer:
+    def test_measures_elapsed(self):
+        with Timer() as timer:
+            time.sleep(0.01)
+        assert timer.elapsed >= 0.005
+        assert not timer.running
+
+    def test_live_elapsed(self):
+        with Timer() as timer:
+            assert timer.running
+            first = timer.elapsed
+            time.sleep(0.005)
+            assert timer.elapsed >= first
+
+    def test_unused_timer(self):
+        assert Timer().elapsed == 0.0
+
+    def test_repr(self):
+        assert "Timer" in repr(Timer())
+
+
+class TestRng:
+    def test_none_is_deterministic(self):
+        assert make_rng().random() == make_rng(None).random()
+
+    def test_seed(self):
+        assert make_rng(5).random() == make_rng(5).random()
+
+    def test_passthrough(self):
+        rng = random.Random(1)
+        assert make_rng(rng) is rng
+
+    def test_sample_subset_sorted(self):
+        rng = make_rng(0)
+        picked = sample_subset(rng, range(100), 5)
+        assert picked == sorted(picked)
+        assert len(set(picked)) == 5
+
+    def test_sample_subset_too_large(self):
+        with pytest.raises(ValueError):
+            sample_subset(make_rng(0), [1, 2], 5)
+
+
+class TestStats:
+    def test_merge(self):
+        a = SearchStats(dcc_calls=2, extra={"x": 1})
+        b = SearchStats(dcc_calls=3, candidates_pruned=1, extra={"x": 2})
+        a.merge(b)
+        assert a.dcc_calls == 5
+        assert a.candidates_pruned == 1
+        assert a.extra["x"] == 3
+
+    def test_as_dict(self):
+        stats = SearchStats(dcc_calls=1, extra={"foo": 9})
+        payload = stats.as_dict()
+        assert payload["dcc_calls"] == 1
+        assert payload["foo"] == 9
+
+
+class TestResult:
+    def test_cover_properties(self):
+        result = DCCSResult(
+            sets=[frozenset({1, 2}), frozenset({2, 3})],
+            labels=[(0,), (1,)],
+            algorithm="greedy",
+            params=(1, 1, 2),
+        )
+        assert result.cover == {1, 2, 3}
+        assert result.cover_size == 3
+        assert "greedy" in repr(result)
