@@ -49,16 +49,26 @@ def _load_graph(source, scale, seed):
 
 def _cmd_info(args):
     graph = _load_graph(args.graph, args.scale, args.seed)
+    if args.backend == "frozen":
+        graph = graph.freeze()
     summary = graph.summary()
     for key, value in summary.items():
         print("{}: {}".format(key, value))
+    print("representation: {}".format(
+        "frozen-csr" if graph.is_frozen else "dict-of-sets"
+    ))
+    print("memory_estimate_bytes: {}".format(graph.memory_bytes()))
+    print("per_layer_edges: {}".format(", ".join(
+        str(graph.num_edges(layer)) for layer in graph.layers()
+    )))
     return 0
 
 
 def _cmd_search(args):
     graph = _load_graph(args.graph, args.scale, args.seed)
     result = search_dccs(
-        graph, args.d, args.s, args.k, method=args.method, seed=args.seed
+        graph, args.d, args.s, args.k, method=args.method,
+        backend=args.backend, seed=args.seed,
     )
     print(
         "{}: {} d-CCs, cover {} vertices, {:.3f}s, {} dCC computations".format(
@@ -304,6 +314,9 @@ def build_parser():
     info = sub.add_parser("info", parents=[common],
                           help="print graph statistics")
     info.add_argument("graph", help="dataset name or graph file")
+    info.add_argument("--backend", default="dict",
+                      choices=("dict", "frozen"),
+                      help="representation to report on (default dict)")
     info.set_defaults(fn=_cmd_info)
 
     search = sub.add_parser("search", parents=[common], help="run DCCS")
@@ -313,6 +326,9 @@ def build_parser():
     search.add_argument("-k", type=int, default=10)
     search.add_argument("--method", default="auto",
                         choices=("auto", "greedy", "bottom-up", "top-down"))
+    search.add_argument("--backend", default="auto",
+                        choices=("auto", "dict", "frozen"),
+                        help="graph backend (auto freezes when profitable)")
     search.set_defaults(fn=_cmd_search)
 
     datasets = sub.add_parser("datasets", parents=[common],

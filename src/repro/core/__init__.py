@@ -1,4 +1,19 @@
-"""The paper's core contribution: d-CCs and the three DCCS algorithms."""
+"""The paper's core contribution: d-CCs and the three DCCS algorithms.
+
+Backend protocol
+----------------
+Every algorithm in this package is written against the narrow graph
+backend protocol of :mod:`repro.graph.backend` (``degree``,
+``neighbors``, ``induced_degrees``, ``layers_of`` plus size accessors),
+so the dict-of-sets reference backend and the frozen CSR backend execute
+the same search code.  The peeling primitives —
+:func:`~repro.core.dcore.layer_core`, :func:`~repro.core.dcc.coherent_core`
+and :func:`~repro.core.dcc.enumerate_candidates` — dispatch to flat-array
+fast paths when ``graph.is_frozen``; everything above them (pruning,
+top-k maintenance, preprocessing, the hierarchical index) is
+representation-blind.  Freeze before searching whenever the graph is
+static and non-trivial, or let ``search_dccs(backend="auto")`` decide.
+"""
 
 from repro.core.api import choose_method, search_dccs
 from repro.core.bottomup import bu_dccs
@@ -10,7 +25,12 @@ from repro.core.dcc import (
     is_coherent_dense,
     per_layer_cores,
 )
-from repro.core.dcore import core_decomposition, core_sizes_by_threshold, d_core
+from repro.core.dcore import (
+    core_decomposition,
+    core_sizes_by_threshold,
+    d_core,
+    layer_core,
+)
 from repro.core.dynamic import CoherentCoreTracker
 from repro.core.greedy import gd_dccs, greedy_max_k_cover
 from repro.core.hierarchy import (
@@ -46,6 +66,7 @@ __all__ = [
     "per_layer_cores",
     "enumerate_candidates",
     "d_core",
+    "layer_core",
     "core_decomposition",
     "core_sizes_by_threshold",
     "DiversifiedTopK",

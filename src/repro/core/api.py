@@ -4,12 +4,21 @@
 paper behind one call.  The default ``method="auto"`` applies the paper's
 own guidance (end of Section I): the bottom-up search wins for
 ``s < l/2``, the top-down search for ``s >= l/2``.
+
+It also hides the choice of graph *backend* (see
+:mod:`repro.graph.backend`): ``backend="auto"`` freezes the graph into
+the flat-array CSR representation when the O(n + m) freeze cost is
+profitable, runs the search there, and translates the reported vertex
+sets back to the caller's labels — results are identical between
+backends, bit for bit, only the wall clock differs.
 """
 
 from repro.core.bottomup import bu_dccs
 from repro.core.greedy import gd_dccs
 from repro.core.topdown import td_dccs
+from repro.graph.backend import resolve_search_graph
 from repro.utils.errors import ParameterError
+from repro.utils.timer import Timer
 
 _METHODS = ("auto", "greedy", "bottom-up", "top-down")
 
@@ -19,13 +28,14 @@ def choose_method(num_layers, s):
     return "bottom-up" if s < num_layers / 2 else "top-down"
 
 
-def search_dccs(graph, d, s, k, method="auto", **options):
+def search_dccs(graph, d, s, k, method="auto", backend="auto", **options):
     """Find the top-k diversified d-CCs of ``graph`` on ``s`` layers.
 
     Parameters
     ----------
     graph:
-        A :class:`~repro.graph.multilayer.MultiLayerGraph`.
+        A :class:`~repro.graph.multilayer.MultiLayerGraph` or an
+        already-frozen :class:`~repro.graph.frozen.FrozenMultiLayerGraph`.
     d:
         Minimum degree inside the reported subgraphs.
     s:
@@ -35,6 +45,10 @@ def search_dccs(graph, d, s, k, method="auto", **options):
     method:
         ``"auto"`` (default), ``"greedy"``, ``"bottom-up"`` or
         ``"top-down"``.
+    backend:
+        ``"auto"`` (default — freeze when profitable), ``"dict"`` or
+        ``"frozen"``.  Reported sets are always in the vocabulary of the
+        graph that was passed in.
     options:
         Forwarded to the chosen algorithm (preprocessing and pruning
         switches, ``seed`` for top-down, ``stats``).
@@ -54,12 +68,29 @@ def search_dccs(graph, d, s, k, method="auto", **options):
         raise ParameterError(
             "method must be one of {}, got {!r}".format(_METHODS, method)
         )
+    # Backend resolution (a possible O(n + m) freeze — cached on the
+    # graph, so repeated searches pay it once) and the final id-to-label
+    # translation are charged to the result's elapsed time: reported
+    # timings must not get faster by moving work outside the clock.
+    with Timer() as overhead:
+        search_graph, translate = resolve_search_graph(graph, backend)
     if method == "auto":
-        method = choose_method(graph.num_layers, s)
+        method = choose_method(search_graph.num_layers, s)
     if method == "greedy":
         options.pop("seed", None)
-        return gd_dccs(graph, d, s, k, **options)
-    if method == "bottom-up":
+        result = gd_dccs(search_graph, d, s, k, **options)
+    elif method == "bottom-up":
         options.pop("seed", None)
-        return bu_dccs(graph, d, s, k, **options)
-    return td_dccs(graph, d, s, k, **options)
+        result = bu_dccs(search_graph, d, s, k, **options)
+    else:
+        result = td_dccs(search_graph, d, s, k, **options)
+    result.elapsed += overhead.elapsed
+    if translate:
+        # The search ran on an internally frozen copy: convert the dense
+        # ids back to the labels of the graph the caller handed us.
+        with Timer() as translation:
+            result.sets = [
+                search_graph.labels_for(members) for members in result.sets
+            ]
+        result.elapsed += translation.elapsed
+    return result

@@ -16,6 +16,11 @@ rules cut subtrees once the result set is full:
 
 Every rule is individually switchable for the ablation benchmarks.
 BU-DCCS attains the 1/4 approximation ratio of Theorem 3.
+
+The search itself manipulates only vertex sets and the primitives of
+:mod:`repro.core.dcc`, so it runs unchanged on either graph backend;
+pass a frozen graph (or let ``search_dccs(backend="auto")`` freeze) to
+route every peel through the CSR kernels.
 """
 
 from repro.core.coverage import DiversifiedTopK

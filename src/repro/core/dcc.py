@@ -15,11 +15,19 @@ Two equivalent implementations are provided:
 
 Property-based tests assert the two always agree; the bin-sort variant also
 doubles as the reference for the RefineC correctness tests.
+
+Both entry points run on either graph backend (see
+:mod:`repro.graph.backend`): :func:`coherent_core` dispatches to the
+flat-array kernel of :mod:`repro.graph.frozen` when the graph is frozen,
+and :func:`coherent_core_binsort` is written against the protocol
+(``induced_degrees`` + ``neighbors``) directly.  :func:`enumerate_candidates`
+additionally uses bitmask layer-signature grouping on the frozen backend to
+compute every Lemma 1 intersection bound in one pass over the vertices.
 """
 
 from itertools import combinations
 
-from repro.core.dcore import d_core
+from repro.core.dcore import layer_core
 from repro.utils.errors import LayerIndexError, ParameterError
 
 
@@ -60,11 +68,17 @@ def coherent_core(graph, layers, d, within=None, stats=None):
         raise ParameterError("d must be non-negative, got {}".format(d))
     if stats is not None:
         stats.dcc_calls += 1
+    if graph.is_frozen:
+        from repro.graph.frozen import frozen_coherent_core
+
+        return frozen_coherent_core(
+            graph, layer_tuple, d, within=within, stats=stats
+        )
     adjacencies = [graph.adjacency(layer) for layer in layer_tuple]
     if within is None:
         alive = graph.vertices()
     else:
-        alive = set(within) & graph._vertices
+        alive = set(within) & graph.vertex_set()
     if d == 0:
         return frozenset(alive)
 
@@ -108,23 +122,24 @@ def coherent_core_binsort(graph, layers, d, within=None, stats=None):
 
     Functionally identical to :func:`coherent_core`; retained because it is
     the textual algorithm of Appendix B and anchors the equivalence tests.
+    Written against the backend protocol (``induced_degrees`` +
+    ``neighbors``), so it runs unchanged on both backends.
     """
     layer_tuple = _normalize_layers(graph, layers)
     if d < 0:
         raise ParameterError("d must be non-negative, got {}".format(d))
     if stats is not None:
         stats.dcc_calls += 1
-    adjacencies = [graph.adjacency(layer) for layer in layer_tuple]
     if within is None:
         alive = graph.vertices()
     else:
-        alive = set(within) & graph._vertices
+        alive = {v for v in set(within) if graph.has_vertex(v)}
     if d == 0 or not alive:
         return frozenset(alive)
 
-    degrees = []
-    for adjacency in adjacencies:
-        degrees.append({v: len(adjacency[v] & alive) for v in alive})
+    degrees = [
+        graph.induced_degrees(layer, alive) for layer in layer_tuple
+    ]
     m_value = {v: min(degree[v] for degree in degrees) for v in alive}
 
     buckets = {}
@@ -146,8 +161,8 @@ def coherent_core_binsort(graph, layers, d, within=None, stats=None):
         if stats is not None:
             stats.peel_operations += 1
         touched = set()
-        for adjacency, degree in zip(adjacencies, degrees):
-            for u in adjacency[v]:
+        for layer, degree in zip(layer_tuple, degrees):
+            for u in graph.neighbors(layer, v):
                 if u in alive:
                     degree[u] -= 1
                     touched.add(u)
@@ -169,13 +184,14 @@ def is_coherent_dense(graph, vertices, layers, d):
     predicate, and adding any outside vertex must break it (maximality).
     """
     layer_tuple = _normalize_layers(graph, layers)
-    members = set(vertices) & graph._vertices
-    if len(members) != len(set(vertices)):
+    requested = set(vertices)
+    members = {v for v in requested if graph.has_vertex(v)}
+    if len(members) != len(requested):
         return False
     for layer in layer_tuple:
-        adjacency = graph.adjacency(layer)
+        degrees = graph.induced_degrees(layer, members)
         for v in members:
-            if len(adjacency[v] & members) < d:
+            if degrees.get(v, 0) < d:
                 return False
     return True
 
@@ -190,8 +206,28 @@ def per_layer_cores(graph, d, within=None, stats=None):
     for layer in graph.layers():
         if stats is not None:
             stats.dcc_calls += 1
-        cores.append(d_core(graph.adjacency(layer), d, within=within))
+        cores.append(layer_core(graph, layer, d, within=within))
     return cores
+
+
+def _layer_signature_groups(cores):
+    """Group vertices by the bitmask of the d-cores containing them.
+
+    ``cores[i]`` contributes bit ``i``; the returned list holds
+    ``(mask, vertices)`` pairs.  The Lemma 1 bound for a layer subset with
+    mask ``m`` is then the union of the groups whose mask contains ``m`` —
+    one pass over at most ``n`` signature groups per subset, instead of
+    ``s`` set intersections over full cores.
+    """
+    signature = {}
+    for i, core in enumerate(cores):
+        bit = 1 << i
+        for v in core:
+            signature[v] = signature.get(v, 0) | bit
+    groups = {}
+    for v, mask in signature.items():
+        groups.setdefault(mask, []).append(v)
+    return list(groups.items())
 
 
 def enumerate_candidates(graph, d, s, within=None, cores=None, stats=None):
@@ -207,14 +243,26 @@ def enumerate_candidates(graph, d, s, within=None, cores=None, stats=None):
         )
     if cores is None:
         cores = per_layer_cores(graph, d, within=within, stats=stats)
+    within_set = None if within is None else set(within)
+    groups = _layer_signature_groups(cores) if graph.is_frozen else None
     for layer_subset in combinations(range(graph.num_layers), s):
-        bound = set(cores[layer_subset[0]])
-        for layer in layer_subset[1:]:
-            bound &= cores[layer]
-            if not bound:
-                break
-        if within is not None:
-            bound &= set(within)
+        if groups is not None:
+            # Frozen fast path: one signature sweep per subset.
+            want = 0
+            for layer in layer_subset:
+                want |= 1 << layer
+            bound = set()
+            for mask, members in groups:
+                if mask & want == want:
+                    bound.update(members)
+        else:
+            bound = set(cores[layer_subset[0]])
+            for layer in layer_subset[1:]:
+                bound &= cores[layer]
+                if not bound:
+                    break
+        if within_set is not None:
+            bound &= within_set
         if bound:
             core = coherent_core(
                 graph, layer_subset, d, within=bound, stats=stats

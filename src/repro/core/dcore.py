@@ -1,19 +1,35 @@
 """Single-layer d-core computation (Batagelj & Zaversnik, reference [3]).
 
-Two entry points:
+Three entry points:
 
-* :func:`d_core` — the maximal vertex set whose induced subgraph has minimum
-  degree ``>= d``, computed by bucket peeling in ``O(n + m)``;
+* :func:`layer_core` — the backend-dispatching form: the d-core of one
+  layer of a multi-layer graph, routed to the CSR kernel when the graph
+  is frozen and to :func:`d_core` otherwise.  New code should call this.
+* :func:`d_core` — the dict-backend peel: the maximal vertex set whose
+  induced subgraph has minimum degree ``>= d``, computed by cascade
+  peeling in ``O(n + m)`` over a raw adjacency dict
+  ``{vertex: set(neighbours)}`` (what :meth:`MultiLayerGraph.adjacency`
+  returns), optionally restricted to a vertex subset;
 * :func:`core_decomposition` — the full core number of every vertex (the
   classic O(m) bin-sort algorithm), used by tests and by layer-ordering
   heuristics.
-
-Both operate on a raw adjacency dict ``{vertex: set(neighbours)}`` (what
-:meth:`MultiLayerGraph.adjacency` returns) optionally restricted to a vertex
-subset, so no subgraph is ever materialised.
 """
 
 from repro.utils.errors import ParameterError
+
+
+def layer_core(graph, layer, d, within=None):
+    """The d-core of ``graph``'s ``layer`` through the backend protocol.
+
+    Dispatches to the flat-array kernel for a frozen (CSR) graph and to
+    the dict peel otherwise; both return the same set (of the graph's own
+    vertex vocabulary).
+    """
+    if graph.is_frozen:
+        from repro.graph.frozen import frozen_layer_core
+
+        return frozen_layer_core(graph, layer, d, within=within)
+    return d_core(graph.adjacency(layer), d, within=within)
 
 
 def d_core(adjacency, d, within=None):

@@ -10,9 +10,7 @@ keeping all of ``F`` in memory, which is exactly the scalability weakness
 the bottom-up and top-down algorithms remove.
 """
 
-from itertools import combinations
-
-from repro.core.dcc import coherent_core
+from repro.core.dcc import enumerate_candidates
 from repro.core.preprocess import vertex_deletion
 from repro.core.result import DCCSResult
 from repro.core.stats import SearchStats
@@ -68,22 +66,16 @@ def _validate(graph, d, s, k):
 
 
 def _generate_candidates(graph, d, s, prep, stats):
-    """Lines 4–7 of Fig. 2: one d-CC per size-``s`` layer subset."""
+    """Lines 4–7 of Fig. 2: one d-CC per size-``s`` layer subset.
+
+    Delegates to :func:`~repro.core.dcc.enumerate_candidates` (sharing the
+    preprocessed per-layer cores), which applies the Lemma 1 intersection
+    bound and — on the frozen backend — the bitmask signature fast path.
+    """
     candidates = []
-    for layer_subset in combinations(range(graph.num_layers), s):
-        bound = set(prep.cores[layer_subset[0]])
-        for layer in layer_subset[1:]:
-            bound &= prep.cores[layer]
-            if not bound:
-                break
-        if bound:
-            core = coherent_core(
-                graph, layer_subset, d, within=bound, stats=stats
-            )
-        else:
-            # Lemma 1: an empty intersection bound forces an empty d-CC —
-            # no peeling required.
-            core = frozenset()
+    for layer_subset, core in enumerate_candidates(
+        graph, d, s, cores=prep.cores, stats=stats
+    ):
         stats.candidates_generated += 1
         candidates.append((layer_subset, core))
     return candidates

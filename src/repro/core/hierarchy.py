@@ -44,7 +44,7 @@ def coherent_core_numbers(graph, layers, within=None):
     if within is None:
         alive = graph.vertices()
     else:
-        alive = set(within) & graph._vertices
+        alive = {v for v in set(within) if graph.has_vertex(v)}
 
     degrees = []
     for adjacency in adjacencies:

@@ -63,7 +63,8 @@ class CoreHierarchyIndex:
         for vertex in indexed:
             neighbors = set()
             for layer in graph.layers():
-                neighbors |= graph.neighbors(layer, vertex)
+                # update() (not |=) so backends may return any iterable.
+                neighbors.update(graph.neighbors(layer, vertex))
             neighbors &= indexed.keys()
             neighbors.discard(vertex)
             self.union_adj[vertex] = neighbors

@@ -11,10 +11,13 @@ total of ``O(l (n + m))`` over the whole deletion sequence.
 
 :class:`MultiLayerCoreMaintainer` packages that: it owns the per-layer
 core sets, their internal degree counters, and the support counters
-``Num(v)`` (the number of layers whose core contains ``v``).
+``Num(v)`` (the number of layers whose core contains ``v``).  It speaks
+only the backend protocol — ``induced_degrees``, ``neighbor_row`` and
+the dispatching :func:`~repro.core.dcore.layer_core` — so both the dict
+and the frozen CSR backend are maintained by the same code.
 """
 
-from repro.core.dcore import d_core
+from repro.core.dcore import layer_core
 
 
 class MultiLayerCoreMaintainer:
@@ -46,12 +49,11 @@ class MultiLayerCoreMaintainer:
         self.cores = []
         self._degrees = []
         for layer in graph.layers():
-            adjacency = graph.adjacency(layer)
-            core = d_core(adjacency, d, within=self.alive)
+            core = layer_core(graph, layer, d, within=self.alive)
             if stats is not None:
                 stats.dcc_calls += 1
             self.cores.append(core)
-            self._degrees.append({v: len(adjacency[v] & core) for v in core})
+            self._degrees.append(graph.induced_degrees(layer, core))
         self.support = {v: 0 for v in self.alive}
         for core in self.cores:
             for vertex in core:
@@ -76,16 +78,17 @@ class MultiLayerCoreMaintainer:
             self.alive.discard(vertex)
             self.support.pop(vertex, None)
         for layer, core in enumerate(self.cores):
-            adjacency = self.graph.adjacency(layer)
+            # One protocol row accessor per layer instead of a checked
+            # neighbors() call per queue pop; on the frozen backend it
+            # walks raw CSR rows without materialising any set view.
+            row = self.graph.neighbor_row(layer)
             degrees = self._degrees[layer]
             queue = []
             for vertex in doomed:
                 if vertex in core:
                     core.discard(vertex)
                     degrees.pop(vertex, None)
-                    queue.extend(
-                        u for u in adjacency[vertex] if u in core
-                    )
+                    queue.extend(u for u in row(vertex) if u in core)
             # Cascade peel: decrement each affected neighbour once per
             # removed edge; vertices falling below d leave this core only.
             head = 0
@@ -99,14 +102,14 @@ class MultiLayerCoreMaintainer:
                     core.discard(u)
                     degrees.pop(u, None)
                     self.support[u] -= 1
-                    queue.extend(w for w in adjacency[u] if w in core)
+                    queue.extend(w for w in row(u) if w in core)
         return doomed
 
     def check_consistency(self):
         """Recompute cores/support from scratch and compare (test hook)."""
         for layer in self.graph.layers():
-            expected = d_core(
-                self.graph.adjacency(layer), self.d, within=self.alive
+            expected = layer_core(
+                self.graph, layer, self.d, within=self.alive
             )
             if expected != self.cores[layer]:
                 raise AssertionError(

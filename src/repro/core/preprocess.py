@@ -11,6 +11,10 @@ disable them one at a time:
   the bottom-up search, ascending for the top-down search);
 * **result initialisation** — seed the temporary top-k set greedily
   (:mod:`repro.core.initk`) so Eq. (1) pruning applies from the start.
+
+All three run against the graph backend protocol: the vertex-deletion
+fixed point goes through :class:`MultiLayerCoreMaintainer`, which peels
+dict and frozen CSR graphs with the same code.
 """
 
 from dataclasses import dataclass, field

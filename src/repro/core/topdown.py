@@ -19,6 +19,11 @@ recovered inside it by RefineC over the hierarchical index.  Pruning:
   ``R``; a random size-``s`` descendant is tried and the subtree skipped.
 
 TD-DCCS attains the 1/4 approximation ratio of Theorem 4.
+
+Like BU-DCCS, the recursion works with plain vertex sets through the
+primitives of :mod:`repro.core.dcc`/:mod:`repro.core.refine` and the
+hierarchical index, all of which speak the graph backend protocol — a
+frozen CSR graph drops in transparently.
 """
 
 from repro.core.coverage import DiversifiedTopK

@@ -54,6 +54,18 @@ class Dataset:
         row["communities"] = len(self.communities)
         return row
 
+    def frozen_graph(self):
+        """The graph in its frozen CSR representation.
+
+        Datasets are memoised by the registry and their graphs never
+        mutate, so the freeze (also cached, on the graph itself) is paid
+        at most once per ``(name, scale, seed)``.  Ground-truth sets in
+        :attr:`communities`/:attr:`complexes` keep original labels —
+        translate ids with ``frozen_graph().labels_for(...)`` before
+        comparing against them.
+        """
+        return self.graph.freeze()
+
 
 def build_standin(name, num_vertices, num_layers, num_communities,
                   size_range, span_choices, p_in=0.9,

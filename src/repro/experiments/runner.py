@@ -7,18 +7,26 @@ that inner loop; the sweep modules compose it.
 """
 
 from repro.core.api import search_dccs
+from repro.graph.backend import resolve_search_graph
 
 
-def measure_point(graph, d, s, k, methods, seed=0, **options):
+def measure_point(graph, d, s, k, methods, seed=0, backend="auto", **options):
     """Run each method once and return one row per method.
 
     ``options`` are forwarded to :func:`repro.core.search_dccs` (pruning
-    and preprocessing switches for the ablations).
+    and preprocessing switches for the ablations).  ``backend`` selects
+    the graph representation; with ``"auto"`` mid-sized sweeps run on the
+    frozen CSR backend, so the recorded times reflect it.  The backend
+    conversion cache is warmed up front: these rows compare *methods*,
+    so the one-time freeze/thaw cost must not land on whichever method
+    happens to run first.
     """
+    resolve_search_graph(graph, backend)
     rows = []
     for method in methods:
         result = search_dccs(
-            graph, d, s, k, method=method, seed=seed, **options
+            graph, d, s, k, method=method, seed=seed, backend=backend,
+            **options
         )
         rows.append(result_row(result, method=method, d=d, s=s, k=k))
     return rows
@@ -39,19 +47,23 @@ def result_row(result, **extra):
     return row
 
 
-def sweep(graph, parameter, values, base, methods, **options):
+def sweep(graph, parameter, values, base, methods, backend="auto", **options):
     """Sweep ``parameter`` over ``values`` with other params from ``base``.
 
     ``base`` maps ``d``/``s``/``k`` to their fixed values; the swept
     parameter overrides its entry.  Returns a flat list of rows with the
-    swept value recorded under the parameter name.
+    swept value recorded under the parameter name.  When the backend
+    resolves to frozen, the freeze is paid once per graph (cached) and
+    excluded from every row: :func:`measure_point` warms the conversion
+    cache before its timers start, so rows compare methods only.
     """
     rows = []
     for value in values:
         point = dict(base)
         point[parameter] = value
         for row in measure_point(
-            graph, point["d"], point["s"], point["k"], methods, **options
+            graph, point["d"], point["s"], point["k"], methods,
+            backend=backend, **options
         ):
             row[parameter] = value
             rows.append(row)

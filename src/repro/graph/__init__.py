@@ -1,4 +1,23 @@
-"""Multi-layer graph substrate: data structure, builders, I/O, generators."""
+"""Multi-layer graph substrate: backends, builders, I/O, generators.
+
+Two interchangeable graph backends implement the narrow protocol that the
+search stack in :mod:`repro.core` runs against (``degree``, ``neighbors``,
+``induced_degrees``, ``layers_of`` plus size accessors — the full table is
+in :mod:`repro.graph.backend`):
+
+* :class:`MultiLayerGraph` — the mutable dict-of-sets reference backend;
+  arbitrary hashable vertices, O(1) edge tests, incremental updates.
+* :class:`FrozenMultiLayerGraph` — an immutable CSR backend over dense
+  integer ids with per-vertex layer-membership bitmasks, built with
+  ``graph.freeze()`` and reversed with ``frozen.thaw()``.
+
+When to freeze: any read-heavy workload that runs many peeling passes over
+a graph that no longer changes — which is every DCCS search — benefits
+from freezing once the graph has a few hundred vertices; the flat-array
+peel kernels in :mod:`repro.graph.frozen` then replace every hash lookup
+of the hot loops with list indexing.  ``search_dccs(backend="auto")``
+applies exactly that rule automatically.
+"""
 
 from repro.graph.analysis import (
     core_size_profile,
@@ -38,11 +57,29 @@ from repro.graph.io import (
     write_edge_list,
     write_json,
 )
+from repro.graph.backend import (
+    BACKENDS,
+    check_backend,
+    resolve_search_graph,
+    should_freeze,
+)
+from repro.graph.frozen import (
+    FrozenMultiLayerGraph,
+    frozen_coherent_core,
+    frozen_layer_core,
+)
 from repro.graph.multilayer import MultiLayerGraph
 from repro.graph.views import LayerView
 
 __all__ = [
     "MultiLayerGraph",
+    "FrozenMultiLayerGraph",
+    "BACKENDS",
+    "check_backend",
+    "resolve_search_graph",
+    "should_freeze",
+    "frozen_layer_core",
+    "frozen_coherent_core",
     "LayerView",
     "layer_statistics",
     "layer_edge_jaccard",

@@ -16,7 +16,15 @@ d-core machinery of Batagelj & Zaversnik needs.
 Vertices may be any hashable object (ints, strings, tuples).  Self-loops are
 rejected because the degree-based definitions in the paper are stated for
 simple graphs.
+
+This class is the mutable *reference backend* of the graph backend
+protocol (:mod:`repro.graph.backend`).  :meth:`MultiLayerGraph.freeze`
+converts to the immutable CSR backend
+(:class:`~repro.graph.frozen.FrozenMultiLayerGraph`) for read-heavy
+search workloads; ``thaw()`` converts back.
 """
+
+import sys
 
 from repro.utils.errors import LayerIndexError, ParameterError, VertexError
 
@@ -44,7 +52,8 @@ class MultiLayerGraph:
     1
     """
 
-    __slots__ = ("_adj", "_vertices", "name")
+    __slots__ = ("_adj", "_vertices", "_edge_counts", "_frozen_cache",
+                 "_vset_cache", "name")
 
     def __init__(self, num_layers, vertices=(), name=""):
         if num_layers < 1:
@@ -53,12 +62,20 @@ class MultiLayerGraph:
             )
         self._vertices = set()
         self._adj = [dict() for _ in range(num_layers)]
+        self._edge_counts = [0] * num_layers
+        self._frozen_cache = None
+        self._vset_cache = None
         self.name = name
         self.add_vertices(vertices)
 
     # ------------------------------------------------------------------
     # basic accessors
     # ------------------------------------------------------------------
+
+    @property
+    def is_frozen(self):
+        """``False`` — this is the mutable dict backend of the protocol."""
+        return False
 
     @property
     def num_layers(self):
@@ -73,6 +90,17 @@ class MultiLayerGraph:
     def vertices(self):
         """Return a new set with all vertices of the graph."""
         return set(self._vertices)
+
+    def vertex_set(self):
+        """A cached frozenset of all vertices (immutable, like the frozen
+        backend's), so no caller can corrupt the graph through it."""
+        if self._vset_cache is None:
+            self._vset_cache = frozenset(self._vertices)
+        return self._vset_cache
+
+    def has_vertex(self, vertex):
+        """Whether ``vertex`` is in the graph (``in`` works too)."""
+        return vertex in self._vertices
 
     def __contains__(self, vertex):
         return vertex in self._vertices
@@ -105,6 +133,8 @@ class MultiLayerGraph:
             self._vertices.add(vertex)
             for adj in self._adj:
                 adj[vertex] = set()
+            self._frozen_cache = None
+            self._vset_cache = None
 
     def add_vertices(self, vertices):
         """Add every vertex from the iterable ``vertices``."""
@@ -122,8 +152,12 @@ class MultiLayerGraph:
             raise ParameterError("self-loop ({0!r}, {0!r}) is not allowed".format(u))
         self.add_vertex(u)
         self.add_vertex(v)
-        self._adj[layer][u].add(v)
-        self._adj[layer][v].add(u)
+        neighbors = self._adj[layer][u]
+        if v not in neighbors:
+            neighbors.add(v)
+            self._adj[layer][v].add(u)
+            self._edge_counts[layer] += 1
+            self._frozen_cache = None
 
     def add_edges(self, layer, edges):
         """Add every ``(u, v)`` pair from ``edges`` on ``layer``."""
@@ -140,15 +174,20 @@ class MultiLayerGraph:
             self._adj[layer][v].remove(u)
         except KeyError:
             raise VertexError((u, v)) from None
+        self._edge_counts[layer] -= 1
+        self._frozen_cache = None
 
     def remove_vertex(self, vertex):
         """Remove ``vertex`` and all its incident edges from every layer."""
         self._check_vertex(vertex)
-        for adj in self._adj:
+        for layer, adj in enumerate(self._adj):
             for neighbor in adj[vertex]:
                 adj[neighbor].remove(vertex)
+            self._edge_counts[layer] -= len(adj[vertex])
             del adj[vertex]
         self._vertices.remove(vertex)
+        self._frozen_cache = None
+        self._vset_cache = None
 
     def remove_vertices(self, vertices):
         """Remove every vertex in the iterable ``vertices``."""
@@ -177,18 +216,50 @@ class MultiLayerGraph:
         """The degree ``d_{G_layer}(vertex)``."""
         return len(self.neighbors(layer, vertex))
 
+    def neighbor_row(self, layer):
+        """A per-layer row accessor: ``row(v)`` → the neighbour set.
+
+        The protocol's bulk-cascade primitive (see
+        :mod:`repro.graph.backend`): peeling loops hoist one ``row`` per
+        layer instead of paying a checked :meth:`neighbors` call per
+        popped vertex.
+        """
+        self._check_layer(layer)
+        return self._adj[layer].__getitem__
+
     def min_degree_over(self, layers, vertex):
         """``min_{i in layers} d_{G_i}(vertex)`` — the m(v) of Appendix B."""
         return min(self.degree(layer, vertex) for layer in layers)
 
-    def num_edges(self, layer):
-        """The number of edges ``|E_layer|`` on one layer."""
+    def induced_degrees(self, layer, within=None):
+        """``{v: deg_layer(v) within the subset}`` — the protocol bulk query.
+
+        With ``within=None`` the full-graph degrees are returned.  Vertices
+        of ``within`` not present in the graph are silently skipped,
+        matching the ``G[S] = G[S ∩ V]`` convention used throughout.
+        """
         self._check_layer(layer)
-        return sum(len(neighbors) for neighbors in self._adj[layer].values()) // 2
+        adj = self._adj[layer]
+        if within is None:
+            return {v: len(neighbors) for v, neighbors in adj.items()}
+        members = within if isinstance(within, (set, frozenset)) else set(within)
+        return {v: len(adj[v] & members) for v in members if v in adj}
+
+    def layers_of(self, vertex):
+        """The layers on which ``vertex`` has at least one edge."""
+        self._check_vertex(vertex)
+        return frozenset(
+            layer for layer, adj in enumerate(self._adj) if adj[vertex]
+        )
+
+    def num_edges(self, layer):
+        """The number of edges ``|E_layer|`` on one layer (O(1), cached)."""
+        self._check_layer(layer)
+        return self._edge_counts[layer]
 
     def total_edges(self):
         """``sum_i |E_i|`` — total edge count with layer multiplicity."""
-        return sum(self.num_edges(layer) for layer in self.layers())
+        return sum(self._edge_counts)
 
     def union_edge_count(self):
         """``|union_i E_i|`` — number of distinct vertex pairs with an edge."""
@@ -238,6 +309,7 @@ class MultiLayerGraph:
             {vertex: set(neighbors) for vertex, neighbors in adj.items()}
             for adj in self._adj
         ]
+        other._edge_counts = list(self._edge_counts)
         return other
 
     def induced_subgraph(self, vertices, name=""):
@@ -250,8 +322,12 @@ class MultiLayerGraph:
         sub = MultiLayerGraph(self.num_layers, vertices=keep, name=name)
         for layer, adj in enumerate(self._adj):
             sub_adj = sub._adj[layer]
+            half_edges = 0
             for vertex in keep:
-                sub_adj[vertex] = adj[vertex] & keep
+                kept = adj[vertex] & keep
+                sub_adj[vertex] = kept
+                half_edges += len(kept)
+            sub._edge_counts[layer] = half_edges // 2
         return sub
 
     def subgraph_of_layers(self, layer_ids, name=""):
@@ -271,7 +347,36 @@ class MultiLayerGraph:
                 vertex: set(neighbors)
                 for vertex, neighbors in self._adj[old_layer].items()
             }
+            sub._edge_counts[new_layer] = self._edge_counts[old_layer]
         return sub
+
+    def freeze(self, name=None):
+        """Convert to the immutable CSR backend.
+
+        Returns a :class:`~repro.graph.frozen.FrozenMultiLayerGraph` over
+        dense integer vertex ids; ``thaw()`` round-trips back to an equal
+        dict-backend graph.  Freeze once, search many times: every peeling
+        primitive in :mod:`repro.core` takes a flat-array fast path on the
+        frozen representation.  The default-named result is cached and the
+        cache is invalidated by any mutation, so repeated searches over an
+        unchanged graph freeze only once.
+        """
+        from repro.graph.frozen import FrozenMultiLayerGraph
+
+        if name is not None:
+            return FrozenMultiLayerGraph.from_graph(self, name=name)
+        if self._frozen_cache is None:
+            self._frozen_cache = FrozenMultiLayerGraph.from_graph(self)
+        return self._frozen_cache
+
+    def memory_bytes(self):
+        """Rough resident size of the adjacency dictionaries."""
+        total = sys.getsizeof(self._vertices)
+        total += sum(sys.getsizeof(vertex) for vertex in self._vertices)
+        for adj in self._adj:
+            total += sys.getsizeof(adj)
+            total += sum(sys.getsizeof(neighbors) for neighbors in adj.values())
+        return total
 
     # ------------------------------------------------------------------
     # dunder & debugging helpers
@@ -312,6 +417,14 @@ class MultiLayerGraph:
         for layer, adj in enumerate(self._adj):
             if set(adj) != self._vertices:
                 raise VertexError(set(adj) ^ self._vertices)
+            half_edges = sum(len(neighbors) for neighbors in adj.values())
+            if self._edge_counts[layer] != half_edges // 2:
+                raise ParameterError(
+                    "cached edge count for layer {} is {} but adjacency "
+                    "holds {}".format(
+                        layer, self._edge_counts[layer], half_edges // 2
+                    )
+                )
             for vertex, neighbors in adj.items():
                 if vertex in neighbors:
                     raise ParameterError(

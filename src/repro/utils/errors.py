@@ -1,9 +1,9 @@
 """Exception hierarchy for the repro package.
 
 All errors raised by the library derive from :class:`GraphError` so callers
-can catch a single base class.  The subclasses distinguish the three ways a
-call can go wrong: a bad vertex, a bad layer index, or a bad algorithm
-parameter.
+can catch a single base class.  The subclasses distinguish the ways a call
+can go wrong: a bad vertex, a bad layer index, a bad algorithm parameter,
+or a mutation attempted on a frozen graph.
 """
 
 
@@ -38,3 +38,17 @@ class LayerIndexError(GraphError, IndexError):
 
 class ParameterError(GraphError, ValueError):
     """Raised when an algorithm parameter (d, s, k, gamma, ...) is invalid."""
+
+
+class FrozenGraphError(GraphError, TypeError):
+    """Raised when a mutation is attempted on a frozen (CSR) graph."""
+
+    def __init__(self, operation):
+        super().__init__(operation)
+        self.operation = operation
+
+    def __str__(self):
+        return (
+            "{}() is not supported on a frozen graph; call thaw() to get a "
+            "mutable dict-backend copy".format(self.operation)
+        )

@@ -34,3 +34,36 @@ def graph_with_layer_subset(draw, max_vertices=10, max_layers=4):
         )
     )
     return graph, sorted(layers)
+
+
+@st.composite
+def labelled_multilayer_graphs(draw, max_vertices=10, max_layers=4,
+                               edge_probability=0.45):
+    """A random graph over *string* vertex labels.
+
+    Exercises the frozen backend's label-to-dense-id mapping on a
+    vocabulary that is not already ``0..n-1`` (and, occasionally, not
+    sorted the way ids are assigned).
+    """
+    n = draw(st.integers(min_value=1, max_value=max_vertices))
+    layers = draw(st.integers(min_value=1, max_value=max_layers))
+    prefix = draw(st.sampled_from(["v", "node-", ""]))
+    labels = ["{}{:03d}".format(prefix, i) for i in range(n)]
+    graph = MultiLayerGraph(layers, vertices=labels)
+    for layer in range(layers):
+        for i in range(n):
+            for j in range(i + 1, n):
+                if draw(
+                    st.floats(min_value=0.0, max_value=1.0)
+                ) < edge_probability:
+                    graph.add_edge(layer, labels[i], labels[j])
+    return graph
+
+
+@st.composite
+def search_parameters(draw, graph, max_d=4, max_k=4):
+    """A ``(d, s, k)`` triple valid for ``graph``."""
+    d = draw(st.integers(min_value=0, max_value=max_d))
+    s = draw(st.integers(min_value=1, max_value=graph.num_layers))
+    k = draw(st.integers(min_value=1, max_value=max_k))
+    return d, s, k
