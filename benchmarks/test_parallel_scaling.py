@@ -1,0 +1,122 @@
+"""Scaling benchmark for the parallel d-CC search (``jobs=N``).
+
+A candidate-heavy greedy configuration — many layer subsets, each an
+independent d-CC peel — is the workload the shard queue was built for:
+the candidate family partitions perfectly, so measured scaling reflects
+pool overhead plus Amdahl losses (preprocessing and the final max-k-cover
+stay on the orchestrator), nothing algorithmic.
+
+Two assertions always hold, on any machine:
+
+* ``jobs=2`` and ``jobs=4`` return bitwise identical results (sets,
+  labels, counters) to ``jobs=1``;
+* the measured numbers are recorded under
+  ``benchmarks/results/parallel_scaling.txt``.
+
+The ≥1.5× wall-clock speedup assertion arms itself only where it can be
+trusted: hosts with ≥ 4 CPUs (where even best-of-two timing has ample
+headroom over pool spawn cost), or anywhere when
+``REPRO_ASSERT_SCALING=1`` is set.  On 1-CPU hosts forked workers
+time-slice one core and cannot beat the inline path; on busy 2-core
+boxes a single slow run would fail the tier-1 suite with no code defect
+present.  The measured numbers — and whether the target was met — are
+always recorded, with the CPU count they were measured on.
+"""
+
+import os
+from timeit import timeit
+
+from repro.core.api import search_dccs
+from repro.datasets import load
+
+from benchmarks._shared import record
+
+# english: 15 layers -> binom(15, 3) = 455 candidate subsets at s=3,
+# plenty of queue depth for 4 workers.  The scale keeps one jobs=1 run
+# in the hundreds of milliseconds so three timed variants stay cheap.
+DATASET = "english"
+SCALE = 0.25
+D, S, K = 3, 3, 10
+JOBS = (1, 2, 4)
+
+SPEEDUP_TARGET = 1.5
+
+
+def test_parallel_scaling_report(benchmark):
+    graph = load(DATASET, scale=SCALE, seed=0).frozen_graph()
+    cpus = os.cpu_count() or 1
+
+    results = {}
+    timings = {}
+
+    def run_all():
+        # Best of two runs per jobs value: one-shot wall clocks on a
+        # shared machine are noisy, and a spuriously slow jobs=1 baseline
+        # would flatter the speedup as much as a slow jobs=4 run would
+        # damn it.
+        for jobs in JOBS:
+            timings[jobs] = min(
+                timeit(
+                    lambda jobs=jobs: results.__setitem__(
+                        jobs,
+                        search_dccs(graph, D, S, K, method="greedy",
+                                    jobs=jobs),
+                    ),
+                    number=1,
+                )
+                for _ in range(2)
+            )
+        return timings
+
+    benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    base = results[JOBS[0]]
+    for jobs in JOBS[1:]:
+        assert results[jobs].sets == base.sets, jobs
+        assert results[jobs].labels == base.labels, jobs
+        assert results[jobs].stats.as_dict() == base.stats.as_dict(), jobs
+
+    lines = [
+        "Parallel scaling — greedy DCCS on {} stand-in "
+        "(scale {}, d={}, s={}, k={})".format(DATASET, SCALE, D, S, K),
+        "candidate family: {} subsets over {} layers, {} vertices".format(
+            base.stats.extra["candidate_family_size"], graph.num_layers,
+            graph.num_vertices,
+        ),
+        "host CPUs: {}".format(cpus),
+        "",
+        "{:>5s}  {:>10s}  {:>8s}".format("jobs", "time_s", "speedup"),
+    ]
+    for jobs in JOBS:
+        lines.append("{:>5d}  {:>10.3f}  {:>7.2f}x".format(
+            jobs, timings[jobs], timings[JOBS[0]] / timings[jobs]
+        ))
+    lines.append("")
+    lines.append(
+        "results bitwise identical across jobs: yes "
+        "(sets, labels, counters)"
+    )
+    best = max(timings[JOBS[0]] / timings[jobs] for jobs in JOBS[1:])
+    enforce = cpus >= 4 or os.environ.get("REPRO_ASSERT_SCALING") == "1"
+    if cpus >= 2:
+        lines.append(
+            "speedup target >= {}x on {} CPUs: {}{}".format(
+                SPEEDUP_TARGET, cpus,
+                "met" if best >= SPEEDUP_TARGET else "MISSED",
+                "" if enforce else " (recorded only; set "
+                "REPRO_ASSERT_SCALING=1 to enforce on < 4 CPUs)",
+            )
+        )
+    else:
+        lines.append(
+            "speedup target >= {}x: not assessable on a single-CPU host "
+            "(workers time-slice one core)".format(SPEEDUP_TARGET)
+        )
+        enforce = False
+    record("parallel_scaling", "\n".join(lines))
+
+    if enforce:
+        assert best >= SPEEDUP_TARGET, (
+            "parallel speedup {:.2f}x below target {}x on a {}-CPU host"
+            .format(best, SPEEDUP_TARGET, cpus)
+        )

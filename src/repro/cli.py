@@ -61,6 +61,12 @@ def _cmd_info(args):
     print("per_layer_edges: {}".format(", ".join(
         str(graph.num_edges(layer)) for layer in graph.layers()
     )))
+    # What `search --jobs 0` would actually use on this machine.  The
+    # parallel subsystem is imported lazily, mirroring core/api.py:
+    # sequential commands never pay for the multiprocessing plumbing.
+    from repro.parallel import effective_jobs
+
+    print("parallel_workers_effective: {}".format(effective_jobs(0)))
     return 0
 
 
@@ -68,8 +74,16 @@ def _cmd_search(args):
     graph = _load_graph(args.graph, args.scale, args.seed)
     result = search_dccs(
         graph, args.d, args.s, args.k, method=args.method,
-        backend=args.backend, seed=args.seed,
+        backend=args.backend, seed=args.seed, jobs=args.jobs,
     )
+    if args.jobs is not None:
+        from repro.parallel import effective_jobs
+
+        # The pool is additionally capped by the shard count of the
+        # chosen method, so this is a ceiling, not a measurement.
+        print("parallel: requested jobs={}, worker cap {}".format(
+            args.jobs, effective_jobs(args.jobs)
+        ))
     print(
         "{}: {} d-CCs, cover {} vertices, {:.3f}s, {} dCC computations".format(
             result.algorithm, len(result.sets), result.cover_size,
@@ -329,6 +343,10 @@ def build_parser():
     search.add_argument("--backend", default="auto",
                         choices=("auto", "dict", "frozen"),
                         help="graph backend (auto freezes when profitable)")
+    search.add_argument("--jobs", type=int, default=None,
+                        help="worker processes for the sharded parallel "
+                             "search: 0 = one per CPU, N = exactly N "
+                             "(default: classic single-process search)")
     search.set_defaults(fn=_cmd_search)
 
     datasets = sub.add_parser("datasets", parents=[common],

@@ -11,6 +11,13 @@ the flat-array CSR representation when the O(n + m) freeze cost is
 profitable, runs the search there, and translates the reported vertex
 sets back to the caller's labels — results are identical between
 backends, bit for bit, only the wall clock differs.
+
+Finally it hides the *execution mode*: ``jobs=None`` (default) runs the
+classic single-process algorithms, while any other value routes through
+:mod:`repro.parallel`, which shards the candidate space across worker
+processes over one shared graph.  Parallel results are bitwise identical
+for every worker count (and, for the greedy method, identical to the
+sequential run as well).
 """
 
 from repro.core.bottomup import bu_dccs
@@ -28,7 +35,19 @@ def choose_method(num_layers, s):
     return "bottom-up" if s < num_layers / 2 else "top-down"
 
 
-def search_dccs(graph, d, s, k, method="auto", backend="auto", **options):
+def _parallel(search_graph, d, s, k, method, jobs, options):
+    """Route one resolved method through :mod:`repro.parallel`.
+
+    Imported lazily: the parallel subsystem pulls in multiprocessing
+    plumbing that purely sequential callers never need.
+    """
+    from repro.parallel import parallel_dccs
+
+    return parallel_dccs(search_graph, d, s, k, method, jobs, **options)
+
+
+def search_dccs(graph, d, s, k, method="auto", backend="auto", jobs=None,
+                **options):
     """Find the top-k diversified d-CCs of ``graph`` on ``s`` layers.
 
     Parameters
@@ -49,6 +68,16 @@ def search_dccs(graph, d, s, k, method="auto", backend="auto", **options):
         ``"auto"`` (default — freeze when profitable), ``"dict"`` or
         ``"frozen"``.  Reported sets are always in the vocabulary of the
         graph that was passed in.
+    jobs:
+        ``None`` (default) runs the classic single-process algorithms.
+        Any other value routes through :mod:`repro.parallel`: ``0``
+        shards across one worker process per CPU, a positive integer
+        across exactly that many.  For a fixed ``seed``, results are
+        bitwise identical — sets, labels and aggregated counters — for
+        every ``jobs`` value (``jobs=1`` executes the same sharded
+        search inline).  The greedy method additionally matches the
+        sequential run exactly; the tree searches are documented shard
+        variants (see :mod:`repro.parallel.search`).
     options:
         Forwarded to the chosen algorithm (preprocessing and pruning
         switches, ``seed`` for top-down, ``stats``).
@@ -68,6 +97,10 @@ def search_dccs(graph, d, s, k, method="auto", backend="auto", **options):
         raise ParameterError(
             "method must be one of {}, got {!r}".format(_METHODS, method)
         )
+    if jobs is not None:
+        from repro.parallel import check_jobs
+
+        check_jobs(jobs)
     # Backend resolution (a possible O(n + m) freeze — cached on the
     # graph, so repeated searches pay it once) and the final id-to-label
     # translation are charged to the result's elapsed time: reported
@@ -76,11 +109,16 @@ def search_dccs(graph, d, s, k, method="auto", backend="auto", **options):
         search_graph, translate = resolve_search_graph(graph, backend)
     if method == "auto":
         method = choose_method(search_graph.num_layers, s)
-    if method == "greedy":
+    if method != "top-down":
+        # Only the top-down search is randomised (the Lemma 7 shortcut);
+        # the other methods silently ignore a seed so callers can sweep
+        # methods with uniform arguments.
         options.pop("seed", None)
+    if jobs is not None:
+        result = _parallel(search_graph, d, s, k, method, jobs, options)
+    elif method == "greedy":
         result = gd_dccs(search_graph, d, s, k, **options)
     elif method == "bottom-up":
-        options.pop("seed", None)
         result = bu_dccs(search_graph, d, s, k, **options)
     else:
         result = td_dccs(search_graph, d, s, k, **options)

@@ -24,12 +24,11 @@ route every peel through the CSR kernels.
 """
 
 from repro.core.coverage import DiversifiedTopK
-from repro.core.dcc import coherent_core
+from repro.core.dcc import coherent_core, validate_search_params
 from repro.core.initk import init_topk
 from repro.core.preprocess import order_layers, vertex_deletion
 from repro.core.result import result_from_topk
 from repro.core.stats import SearchStats
-from repro.utils.errors import ParameterError
 from repro.utils.timer import Timer
 
 
@@ -46,7 +45,7 @@ def bu_dccs(graph, d, s, k,
     No-VD / No-SL / No-IR ablations (Fig. 28); the two pruning flags expose
     Lemma 3 and Lemma 4 for the extra ablation benches in DESIGN.md.
     """
-    _validate(graph, d, s, k)
+    validate_search_params(graph, d, s, k)
     if stats is None:
         stats = SearchStats()
     with Timer() as timer:
@@ -76,17 +75,6 @@ def bu_dccs(graph, d, s, k,
     return result_from_topk(topk, "bottom-up", (d, s, k), stats, timer.elapsed)
 
 
-def _validate(graph, d, s, k):
-    if d < 0:
-        raise ParameterError("d must be non-negative, got {}".format(d))
-    if not 1 <= s <= graph.num_layers:
-        raise ParameterError(
-            "s must be in [1, {}], got {}".format(graph.num_layers, s)
-        )
-    if k < 1:
-        raise ParameterError("k must be positive, got {}".format(k))
-
-
 class _BottomUpSearch:
     """State shared across the BU-Gen recursion (Fig. 3)."""
 
@@ -108,6 +96,30 @@ class _BottomUpSearch:
     def run(self, root_vertices):
         """Line 10 of Fig. 7: BU-Gen from the empty layer set."""
         self._generate(positions=(), core=frozenset(root_vertices), banned=frozenset())
+
+    def run_subtree(self, position, root_vertices):
+        """Explore only the first-position subtree rooted at ``position``.
+
+        The shard entry point of the parallel subsystem
+        (:mod:`repro.parallel`): the prefix search tree partitions
+        cleanly by its root children — the subtree at ``position`` holds
+        exactly the layer subsets whose smallest search position is
+        ``position`` — so each shard replays the root-level handling of
+        :meth:`run` for its single child (Lemma 1 bound, level-``s``
+        offer, Lemma 2 expansion test) and then recurses as usual.
+        Lemma 4 bans start empty per shard: root-level bans cannot cross
+        shard boundaries.
+        """
+        child_positions, child = self._child_core(
+            (), frozenset(root_vertices), position
+        )
+        if len(child_positions) == self.s:
+            self._offer(child_positions, child)
+        elif not self.topk.is_full or self.topk.satisfies_replacement(child):
+            self._generate(child_positions, child, frozenset())
+        else:
+            # Lemma 2 at the root of the shard.
+            self.stats.candidates_pruned += 1
 
     # ------------------------------------------------------------------
 

@@ -42,6 +42,23 @@ def _normalize_layers(graph, layers):
     return layer_tuple
 
 
+def validate_search_params(graph, d, s, k):
+    """Validate a DCCS ``(d, s, k)`` triple against ``graph``.
+
+    The shared entry check of every search implementation — the three
+    sequential algorithms and the parallel orchestrators all enforce the
+    same contract, so it lives once, here with the core primitives.
+    """
+    if d < 0:
+        raise ParameterError("d must be non-negative, got {}".format(d))
+    if not 1 <= s <= graph.num_layers:
+        raise ParameterError(
+            "s must be in [1, {}], got {}".format(graph.num_layers, s)
+        )
+    if k < 1:
+        raise ParameterError("k must be positive, got {}".format(k))
+
+
 def coherent_core(graph, layers, d, within=None, stats=None):
     """Compute ``C^d_L(G)`` by cascade peeling; returns a :class:`frozenset`.
 
@@ -210,7 +227,7 @@ def per_layer_cores(graph, d, within=None, stats=None):
     return cores
 
 
-def _layer_signature_groups(cores):
+def layer_signature_groups(cores):
     """Group vertices by the bitmask of the d-cores containing them.
 
     ``cores[i]`` contributes bit ``i``; the returned list holds
@@ -230,6 +247,50 @@ def _layer_signature_groups(cores):
     return list(groups.items())
 
 
+def subset_bound(cores, layer_subset, groups=None):
+    """The Lemma 1 intersection bound ``∩_{i in L} C^d(G_i)`` as a set.
+
+    With ``groups`` (from :func:`layer_signature_groups`) the bound is
+    assembled in one sweep over the signature groups — the frozen-backend
+    fast path; otherwise it is the plain running intersection of the
+    per-layer cores with an early exit on empty.
+    """
+    if groups is not None:
+        want = 0
+        for layer in layer_subset:
+            want |= 1 << layer
+        bound = set()
+        for mask, members in groups:
+            if mask & want == want:
+                bound.update(members)
+        return bound
+    bound = set(cores[layer_subset[0]])
+    for layer in layer_subset[1:]:
+        bound &= cores[layer]
+        if not bound:
+            break
+    return bound
+
+
+def candidate_for_subset(graph, d, layer_subset, cores, groups=None,
+                         within_set=None, stats=None):
+    """``C^d_L(G)`` for one layer subset via the Lemma 1 bound.
+
+    The per-subset body of :func:`enumerate_candidates`, exposed so the
+    parallel subsystem's greedy shards do byte-for-byte the same work
+    (same bound, same restricted peel, same counter increments) as the
+    sequential enumeration they partition.
+    """
+    bound = subset_bound(cores, layer_subset, groups)
+    if within_set is not None:
+        bound &= within_set
+    if bound:
+        return coherent_core(graph, layer_subset, d, within=bound,
+                             stats=stats)
+    # Lemma 1: empty intersection bound, hence empty d-CC.
+    return frozenset()
+
+
 def enumerate_candidates(graph, d, s, within=None, cores=None, stats=None):
     """Yield ``(L, C^d_L(G))`` for every layer subset of size ``s``.
 
@@ -244,30 +305,9 @@ def enumerate_candidates(graph, d, s, within=None, cores=None, stats=None):
     if cores is None:
         cores = per_layer_cores(graph, d, within=within, stats=stats)
     within_set = None if within is None else set(within)
-    groups = _layer_signature_groups(cores) if graph.is_frozen else None
+    groups = layer_signature_groups(cores) if graph.is_frozen else None
     for layer_subset in combinations(range(graph.num_layers), s):
-        if groups is not None:
-            # Frozen fast path: one signature sweep per subset.
-            want = 0
-            for layer in layer_subset:
-                want |= 1 << layer
-            bound = set()
-            for mask, members in groups:
-                if mask & want == want:
-                    bound.update(members)
-        else:
-            bound = set(cores[layer_subset[0]])
-            for layer in layer_subset[1:]:
-                bound &= cores[layer]
-                if not bound:
-                    break
-        if within_set is not None:
-            bound &= within_set
-        if bound:
-            core = coherent_core(
-                graph, layer_subset, d, within=bound, stats=stats
-            )
-        else:
-            # Lemma 1: empty intersection bound, hence empty d-CC.
-            core = frozenset()
-        yield layer_subset, core
+        yield layer_subset, candidate_for_subset(
+            graph, d, layer_subset, cores, groups=groups,
+            within_set=within_set, stats=stats,
+        )

@@ -10,11 +10,10 @@ keeping all of ``F`` in memory, which is exactly the scalability weakness
 the bottom-up and top-down algorithms remove.
 """
 
-from repro.core.dcc import enumerate_candidates
+from repro.core.dcc import enumerate_candidates, validate_search_params
 from repro.core.preprocess import vertex_deletion
 from repro.core.result import DCCSResult
 from repro.core.stats import SearchStats
-from repro.utils.errors import ParameterError
 from repro.utils.timer import Timer
 
 
@@ -33,7 +32,7 @@ def gd_dccs(graph, d, s, k, use_vertex_deletion=True, stats=None):
     stats:
         Optional shared :class:`SearchStats`.
     """
-    _validate(graph, d, s, k)
+    validate_search_params(graph, d, s, k)
     if stats is None:
         stats = SearchStats()
     with Timer() as timer:
@@ -52,17 +51,6 @@ def gd_dccs(graph, d, s, k, use_vertex_deletion=True, stats=None):
     )
     stats.extra["candidate_family_size"] = len(candidates)
     return result
-
-
-def _validate(graph, d, s, k):
-    if d < 0:
-        raise ParameterError("d must be non-negative, got {}".format(d))
-    if not 1 <= s <= graph.num_layers:
-        raise ParameterError(
-            "s must be in [1, {}], got {}".format(graph.num_layers, s)
-        )
-    if k < 1:
-        raise ParameterError("k must be positive, got {}".format(k))
 
 
 def _generate_candidates(graph, d, s, prep, stats):

@@ -27,14 +27,13 @@ frozen CSR graph drops in transparently.
 """
 
 from repro.core.coverage import DiversifiedTopK
-from repro.core.dcc import coherent_core
+from repro.core.dcc import coherent_core, validate_search_params
 from repro.core.index import CoreHierarchyIndex
 from repro.core.initk import init_topk
 from repro.core.preprocess import order_layers, vertex_deletion
 from repro.core.refine import refine_core, refine_potential
 from repro.core.result import result_from_topk
 from repro.core.stats import SearchStats
-from repro.utils.errors import ParameterError
 from repro.utils.rng import make_rng
 from repro.utils.timer import Timer
 
@@ -54,7 +53,7 @@ def td_dccs(graph, d, s, k,
     No-index ablation); ``seed`` drives the random descendant choice of the
     Lemma 7 shortcut.
     """
-    _validate(graph, d, s, k)
+    validate_search_params(graph, d, s, k)
     if stats is None:
         stats = SearchStats()
     rng = make_rng(seed)
@@ -101,17 +100,6 @@ def td_dccs(graph, d, s, k,
         else:
             search.generate(root_positions, root_core, frozenset(prep.alive))
     return result_from_topk(topk, "top-down", (d, s, k), stats, timer.elapsed)
-
-
-def _validate(graph, d, s, k):
-    if d < 0:
-        raise ParameterError("d must be non-negative, got {}".format(d))
-    if not 1 <= s <= graph.num_layers:
-        raise ParameterError(
-            "s must be in [1, {}], got {}".format(graph.num_layers, s)
-        )
-    if k < 1:
-        raise ParameterError("k must be positive, got {}".format(k))
 
 
 class _TopDownSearch:
@@ -189,6 +177,31 @@ class _TopDownSearch:
             return None
         dropped = self.rng.sample(removable, surplus)
         return frozenset(positions - set(dropped))
+
+    def generate_shard(self, root_positions, root_core, root_potential, drop):
+        """Explore only the root child obtained by dropping ``drop``.
+
+        The shard entry point of the parallel subsystem
+        (:mod:`repro.parallel`): at the root every position is removable,
+        so the tree partitions by which layer is shed first.  Each shard
+        replays the root-level handling of :meth:`generate` for its
+        single child — RefineU/RefineC, the level-``s`` offer, the
+        Lemma 5 potential test — and then recurses as usual.  The
+        cross-child Lemma 6 ordering cannot span shards and is skipped at
+        this level (it applies unchanged inside the shard).
+        """
+        child_positions, child_potential, child_core = self._make_child(
+            root_positions, root_potential, drop
+        )
+        if len(child_positions) == self.s:
+            self._offer(child_positions, child_core)
+        elif not self.topk.is_full or self.topk.satisfies_replacement(
+            self.topk.gain_size(child_potential)
+        ):
+            self.generate(child_positions, child_core, child_potential)
+        else:
+            # Lemma 5 at the root of the shard.
+            self.stats.candidates_pruned += 1
 
     # ------------------------------------------------------------------
 

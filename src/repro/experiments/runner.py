@@ -10,23 +10,28 @@ from repro.core.api import search_dccs
 from repro.graph.backend import resolve_search_graph
 
 
-def measure_point(graph, d, s, k, methods, seed=0, backend="auto", **options):
+def measure_point(graph, d, s, k, methods, seed=0, backend="auto",
+                  jobs=None, **options):
     """Run each method once and return one row per method.
 
     ``options`` are forwarded to :func:`repro.core.search_dccs` (pruning
     and preprocessing switches for the ablations).  ``backend`` selects
     the graph representation; with ``"auto"`` mid-sized sweeps run on the
-    frozen CSR backend, so the recorded times reflect it.  The backend
-    conversion cache is warmed up front: these rows compare *methods*,
-    so the one-time freeze/thaw cost must not land on whichever method
-    happens to run first.
+    frozen CSR backend, so the recorded times reflect it.  ``jobs``
+    selects the execution mode the same way it does on ``search_dccs``:
+    ``None`` measures the sequential algorithms, anything else the
+    sharded parallel variants (worker-pool spawn cost lands inside each
+    row's timer — parallel rows report what a caller would actually
+    get).  The backend conversion cache is warmed up front: these rows
+    compare *methods*, so the one-time freeze/thaw cost must not land on
+    whichever method happens to run first.
     """
     resolve_search_graph(graph, backend)
     rows = []
     for method in methods:
         result = search_dccs(
             graph, d, s, k, method=method, seed=seed, backend=backend,
-            **options
+            jobs=jobs, **options
         )
         rows.append(result_row(result, method=method, d=d, s=s, k=k))
     return rows
@@ -47,7 +52,8 @@ def result_row(result, **extra):
     return row
 
 
-def sweep(graph, parameter, values, base, methods, backend="auto", **options):
+def sweep(graph, parameter, values, base, methods, backend="auto",
+          jobs=None, **options):
     """Sweep ``parameter`` over ``values`` with other params from ``base``.
 
     ``base`` maps ``d``/``s``/``k`` to their fixed values; the swept
@@ -56,6 +62,7 @@ def sweep(graph, parameter, values, base, methods, backend="auto", **options):
     resolves to frozen, the freeze is paid once per graph (cached) and
     excluded from every row: :func:`measure_point` warms the conversion
     cache before its timers start, so rows compare methods only.
+    ``jobs`` is forwarded to every point (see :func:`measure_point`).
     """
     rows = []
     for value in values:
@@ -63,7 +70,7 @@ def sweep(graph, parameter, values, base, methods, backend="auto", **options):
         point[parameter] = value
         for row in measure_point(
             graph, point["d"], point["s"], point["k"], methods,
-            backend=backend, **options
+            backend=backend, jobs=jobs, **options
         ):
             row[parameter] = value
             rows.append(row)

@@ -21,12 +21,18 @@ A backend must provide:
                                 paths (never for correctness decisions).
 ``num_layers`` / ``layers()``   layer count and ``range`` of layer ids.
 ``num_vertices`` / ``vertices()``  vertex count / a fresh vertex set.
+``vertex_set()``                a cached frozenset of all vertices
+                                (callers must not mutate it).
 ``has_vertex(v)`` (+ ``in``)    vertex membership.
 ``degree(layer, v)``            O(1) degree on one layer.
 ``neighbors(layer, v)``         set-like iterable of the neighbourhood.
 ``neighbor_row(layer)``         unchecked per-layer accessor
                                 ``row(v) → neighbour sequence`` for
                                 bulk cascade loops.
+``adjacency(layer)``            ``{v: neighbour set}`` view of one layer
+                                (materialised lazily on the CSR backend —
+                                a compatibility path for dict-shaped
+                                consumers, not a fast path).
 ``induced_degrees(layer, S)``   bulk ``{v: deg within S}`` — the peeling
                                 initialisation primitive; ``S=None``
                                 means the whole vertex set.
@@ -39,7 +45,11 @@ A backend must provide:
 
 Everything else in the search stack (top-k maintenance, pruning bounds,
 layer orderings) operates on plain vertex sets and never touches the
-representation.
+representation.  Representation also never leaks across process
+boundaries: the parallel subsystem (:mod:`repro.parallel`) serializes
+either backend through an explicit payload
+(:mod:`repro.parallel.serialize`) rather than pickling backend objects,
+so worker processes rebuild exactly the structure described here.
 
 Selection policy
 ----------------

@@ -1,0 +1,51 @@
+"""Parallel d-CC search over one shared graph.
+
+This package cashes in the promise of the frozen CSR substrate: a frozen
+graph is immutable, densely indexed and flat-array backed, so it can be
+serialized once per worker process and searched concurrently with zero
+coordination.  ``search_dccs(..., jobs=N)`` routes here; see
+:mod:`repro.parallel.search` for how each algorithm shards and why the
+output is bitwise identical for every worker count, and
+``docs/architecture.md`` for the prose version.
+
+Layout
+------
+* :mod:`~repro.parallel.serialize` — one-shot graph payloads (frozen CSR
+  arrays ship as flat buffers; the dict backend as an edge list);
+* :mod:`~repro.parallel.worker` — shard execution, shared by the inline
+  path and the worker processes;
+* :mod:`~repro.parallel.executor` — the chunked work queue /
+  process-pool plumbing (``check_jobs`` / ``effective_jobs`` /
+  ``map_shards``);
+* :mod:`~repro.parallel.search` — orchestration: shard, execute, merge.
+"""
+
+from repro.parallel.executor import (
+    MAX_WORKERS,
+    check_jobs,
+    effective_jobs,
+    map_shards,
+)
+from repro.parallel.search import (
+    parallel_bu_dccs,
+    parallel_dccs,
+    parallel_gd_dccs,
+    parallel_td_dccs,
+)
+from repro.parallel.serialize import graph_payload, payload_graph
+from repro.parallel.worker import ShardRunner, shard_seed
+
+__all__ = [
+    "parallel_dccs",
+    "parallel_gd_dccs",
+    "parallel_bu_dccs",
+    "parallel_td_dccs",
+    "check_jobs",
+    "effective_jobs",
+    "map_shards",
+    "MAX_WORKERS",
+    "graph_payload",
+    "payload_graph",
+    "ShardRunner",
+    "shard_seed",
+]

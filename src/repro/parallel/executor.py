@@ -1,0 +1,113 @@
+"""The chunked work queue that drives shard execution.
+
+:func:`map_shards` is the single execution primitive of the parallel
+subsystem: given a list of shard tasks it either runs them inline (one
+worker, or a single shard — no pool is worth spawning) or submits each
+task to a :class:`~concurrent.futures.ProcessPoolExecutor` whose
+initializer ships the serialized graph and search context **once per
+worker process**.  Tasks themselves are tiny shard specs, so an idle
+worker pulling the next task off the queue costs a few bytes of pickle,
+not a graph copy.
+
+Completion order is explicitly irrelevant: results carry their shard
+index and are re-sorted before the orchestrator merges them, which is
+what makes ``jobs=4`` bitwise identical to ``jobs=1``.
+"""
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+
+from repro.parallel.serialize import graph_payload
+from repro.parallel.worker import ShardRunner, init_worker, run_shard
+from repro.utils.errors import ParameterError
+
+# A hard ceiling on pool size: beyond this, per-process interpreter and
+# graph-deserialization overhead dominates any conceivable win.
+MAX_WORKERS = 64
+
+
+def check_jobs(jobs):
+    """Validate a ``jobs=`` argument, returning it unchanged.
+
+    ``None`` selects the sequential code path, ``0`` means "one worker
+    per available CPU", any positive integer is an explicit worker
+    count.
+    """
+    if jobs is None:
+        return None
+    if isinstance(jobs, bool) or not isinstance(jobs, int) or jobs < 0:
+        raise ParameterError(
+            "jobs must be None, 0 (auto) or a positive integer, "
+            "got {!r}".format(jobs)
+        )
+    return jobs
+
+
+def effective_jobs(jobs=0):
+    """The concrete worker count a ``jobs`` request resolves to.
+
+    ``0`` (and ``None``) resolve to ``os.cpu_count()``; explicit counts
+    pass through, capped at :data:`MAX_WORKERS`.  The resolved count
+    never affects search output — only how many processes serve the
+    shard queue.
+    """
+    if not jobs:
+        jobs = os.cpu_count() or 1
+    return max(1, min(jobs, MAX_WORKERS))
+
+
+def map_shards(graph, context, tasks, jobs, index=None):
+    """Execute shard ``tasks`` and return their results in shard order.
+
+    Parameters
+    ----------
+    graph / context:
+        What every shard computes against; see
+        :class:`~repro.parallel.worker.ShardRunner`.
+    tasks:
+        ``(shard_index, kind, spec)`` triples.
+    jobs:
+        Requested worker count (already validated); resolved via
+        :func:`effective_jobs` and additionally capped by the task count.
+    index:
+        Optional pre-built top-down hierarchy index, used only on the
+        inline path (it cannot be shipped to workers cheaply; they
+        rebuild their own, uncharged).
+
+    The pool path degrades gracefully: if worker processes cannot be
+    spawned at all (restricted sandboxes), the shards run inline — same
+    results, one core.
+    """
+    workers = min(effective_jobs(jobs), len(tasks))
+    if workers <= 1:
+        runner = ShardRunner(graph, context, index=index)
+        return [runner.run(task) for task in tasks]
+    payload = graph_payload(graph)
+    results = []
+    try:
+        # Worker processes are spawned lazily (at submit time on
+        # CPython), so the whole submit/collect phase sits inside the
+        # try: a sandbox that denies fork()/clone() surfaces as OSError
+        # or a broken pool only once tasks are submitted.  A worker
+        # raising an ordinary exception is *not* caught here — it
+        # propagates from future.result() as itself.
+        with ProcessPoolExecutor(
+            max_workers=workers,
+            initializer=init_worker,
+            initargs=(payload, context),
+        ) as pool:
+            futures = [pool.submit(run_shard, task) for task in tasks]
+            for future in futures:
+                results.append(future.result())
+    except (OSError, PermissionError, BrokenProcessPool):
+        if results:
+            # The pool worked and then died mid-run (a worker was
+            # OOM-killed, segfaulted, ...).  That is a real failure to
+            # surface, not an environment that cannot fork — silently
+            # rerunning everything inline would only mask it.
+            raise
+        runner = ShardRunner(graph, context, index=index)
+        return [runner.run(task) for task in tasks]
+    results.sort(key=lambda item: item[0])
+    return results

@@ -1,0 +1,268 @@
+"""Parallel DCCS orchestration: shard, execute, merge.
+
+The three algorithms shard along their natural seams:
+
+* **greedy** — the candidate family is ``binom(l, s)`` independent d-CC
+  computations; the layer subsets are cut into chunks (a few per worker,
+  so the queue stays balanced) and the classic greedy max-k-cover runs
+  over the concatenated family.  Sharding is invisible here: the output
+  *and* the summed counters are bitwise identical to the sequential
+  ``gd_dccs``.
+* **bottom-up** — one shard per root child of the prefix search tree
+  (the subtree at position ``p`` holds exactly the layer subsets whose
+  smallest search position is ``p``); each shard runs the full BU-Gen
+  recursion with a local top-k seeded from the InitTopK result sets, and
+  reports every locally accepted candidate.
+* **top-down** — one shard per root child (which layer is shed first),
+  same local-top-k scheme, with per-shard RNG streams for the Lemma 7
+  shortcut.
+
+The merge replays shard reports through one final
+:class:`DiversifiedTopK` — the *same* Update machinery as the sequential
+searches — strictly in shard order.  Shard *structure* never depends on
+the worker count, so for every method, every seed and every backend,
+``jobs=N`` returns bitwise identical sets, labels and aggregated
+counters for all ``N`` (property-tested in ``tests/test_parallel.py``).
+
+What parallel mode does *not* promise is equality with the sequential
+tree searches: the cross-subtree pruning state (Lemmas 3/4/6 spanning
+root children, and the evolving shared top-k) cannot exist across
+isolated shards, so parallel bottom-up/top-down are documented variants
+that explore at least as much of the tree as their sequential
+counterparts and merge through identical selection logic.  Greedy has no
+cross-candidate search state, hence its exact-parity guarantee.
+"""
+
+from itertools import combinations
+
+from repro.core.coverage import DiversifiedTopK
+from repro.core.dcc import coherent_core, validate_search_params
+from repro.core.greedy import greedy_max_k_cover
+from repro.core.index import CoreHierarchyIndex
+from repro.core.initk import init_topk
+from repro.core.preprocess import order_layers, vertex_deletion
+from repro.core.result import DCCSResult, result_from_topk
+from repro.core.stats import SearchStats
+from repro.parallel.executor import effective_jobs, map_shards
+from repro.utils.errors import ParameterError
+from repro.utils.timer import Timer
+
+# Chunks per worker for the greedy candidate family: enough slack that a
+# straggler chunk cannot idle the rest of the pool, few enough that task
+# overhead stays negligible.  Chunk boundaries never affect results.
+CHUNKS_PER_WORKER = 4
+
+
+def _chunked(items, chunks):
+    """Cut ``items`` into at most ``chunks`` contiguous, ordered slices."""
+    size = max(1, -(-len(items) // max(1, chunks)))
+    return [items[i:i + size] for i in range(0, len(items), size)]
+
+
+def _context(method, d, s, k, cores, alive, order, init_sets, flags,
+             **extras):
+    context = {
+        "method": method,
+        "d": d,
+        "s": s,
+        "k": k,
+        "cores": [frozenset(core) for core in cores],
+        "alive": frozenset(alive),
+        "order": tuple(order) if order is not None else None,
+        "init_sets": init_sets,
+        "flags": flags,
+        "seed": None,
+    }
+    context.update(extras)
+    return context
+
+
+def _seeded(topk):
+    """Freeze a top-k's labelled sets for shipping to the shards."""
+    return [(label, frozenset(members)) for label, members in
+            topk.labelled_sets()]
+
+
+def _merge_shards(results, stats, topk):
+    """Replay shard reports, in shard order, through the final top-k."""
+    for _, candidates, shard_stats in results:
+        stats.merge(shard_stats)
+        for label, members in candidates:
+            topk.try_update(members, label=label)
+
+
+def parallel_gd_dccs(graph, d, s, k, jobs=1, use_vertex_deletion=True,
+                     stats=None):
+    """GD-DCCS with the candidate family computed across ``jobs`` workers.
+
+    Output and aggregated counters are bitwise identical to the
+    sequential :func:`~repro.core.greedy.gd_dccs` for every ``jobs``.
+    """
+    validate_search_params(graph, d, s, k)
+    if stats is None:
+        stats = SearchStats()
+    with Timer() as timer:
+        prep = vertex_deletion(
+            graph, d, s, enabled=use_vertex_deletion, stats=stats
+        )
+        subsets = list(combinations(range(graph.num_layers), s))
+        context = _context("greedy", d, s, k, prep.cores, prep.alive,
+                           None, [], {})
+        chunks = _chunked(
+            subsets, CHUNKS_PER_WORKER * effective_jobs(jobs)
+        )
+        tasks = [
+            (index, "greedy", chunk) for index, chunk in enumerate(chunks)
+        ]
+        results = map_shards(graph, context, tasks, jobs)
+        candidates = []
+        for _, chunk_candidates, shard_stats in results:
+            stats.merge(shard_stats)
+            candidates.extend(chunk_candidates)
+        chosen = greedy_max_k_cover(candidates, k)
+    result = DCCSResult(
+        sets=[members for _, members in chosen],
+        labels=[label for label, _ in chosen],
+        algorithm="greedy",
+        params=(d, s, k),
+        stats=stats,
+        elapsed=timer.elapsed,
+    )
+    stats.extra["candidate_family_size"] = len(candidates)
+    return result
+
+
+def parallel_bu_dccs(graph, d, s, k, jobs=1,
+                     use_vertex_deletion=True,
+                     use_layer_sorting=True,
+                     use_init_topk=True,
+                     use_order_pruning=True,
+                     use_layer_pruning=True,
+                     stats=None):
+    """BU-DCCS sharded by root child of the prefix search tree.
+
+    Shard structure depends only on the layer order (one shard per
+    first-position subtree that can still reach depth ``s``), never on
+    ``jobs``, so results are identical for every worker count.
+    """
+    validate_search_params(graph, d, s, k)
+    if stats is None:
+        stats = SearchStats()
+    with Timer() as timer:
+        prep = vertex_deletion(
+            graph, d, s, enabled=use_vertex_deletion, stats=stats
+        )
+        topk = DiversifiedTopK(k)
+        if use_init_topk:
+            init_topk(
+                graph, d, s, k, prep.cores,
+                topk=topk, within=prep.alive, stats=stats,
+            )
+        order = order_layers(prep.cores, descending=True,
+                             enabled=use_layer_sorting)
+        context = _context(
+            "bottom-up", d, s, k, prep.cores, prep.alive, order,
+            _seeded(topk),
+            {
+                "use_order_pruning": use_order_pruning,
+                "use_layer_pruning": use_layer_pruning,
+            },
+        )
+        # A subtree rooted at position p only reaches depth s when at
+        # least s positions remain at or after p.
+        positions = range(len(order) - s + 1)
+        tasks = [
+            (index, "bottom-up", position)
+            for index, position in enumerate(positions)
+        ]
+        results = map_shards(graph, context, tasks, jobs)
+        _merge_shards(results, stats, topk)
+    return result_from_topk(topk, "bottom-up", (d, s, k), stats,
+                            timer.elapsed)
+
+
+def parallel_td_dccs(graph, d, s, k, jobs=1,
+                     use_vertex_deletion=True,
+                     use_layer_sorting=True,
+                     use_init_topk=True,
+                     use_order_pruning=True,
+                     use_potential_pruning=True,
+                     use_index=True,
+                     seed=None,
+                     stats=None):
+    """TD-DCCS sharded by which layer the root sheds first.
+
+    The orchestrator computes the root d-CC and (when enabled) one
+    canonical hierarchy index for counter accounting; pooled workers
+    rebuild the index locally without touching the counters, so the
+    aggregated stats stay independent of the worker count.  Each shard
+    draws from its own deterministic RNG stream (see
+    :func:`~repro.parallel.worker.shard_seed`).
+    """
+    validate_search_params(graph, d, s, k)
+    if stats is None:
+        stats = SearchStats()
+    with Timer() as timer:
+        prep = vertex_deletion(
+            graph, d, s, enabled=use_vertex_deletion, stats=stats
+        )
+        topk = DiversifiedTopK(k)
+        if use_init_topk:
+            init_topk(
+                graph, d, s, k, prep.cores,
+                topk=topk, within=prep.alive, stats=stats,
+            )
+        order = order_layers(prep.cores, descending=False,
+                             enabled=use_layer_sorting)
+        index = None
+        if use_index:
+            index = CoreHierarchyIndex(graph, d, within=prep.alive,
+                                       stats=stats)
+        root_core = coherent_core(
+            graph, graph.layers(), d, within=prep.alive, stats=stats
+        )
+        if s == graph.num_layers:
+            # The root is the only candidate; nothing to shard.
+            stats.candidates_generated += 1
+            if topk.try_update(root_core, label=tuple(graph.layers())):
+                stats.updates_accepted += 1
+        else:
+            context = _context(
+                "top-down", d, s, k, prep.cores, prep.alive, order,
+                _seeded(topk),
+                {
+                    "use_order_pruning": use_order_pruning,
+                    "use_potential_pruning": use_potential_pruning,
+                    "use_index": use_index,
+                },
+                root_core=frozenset(root_core),
+                seed=seed,
+            )
+            tasks = [
+                (index_, "top-down", drop)
+                for index_, drop in enumerate(range(graph.num_layers))
+            ]
+            results = map_shards(graph, context, tasks, jobs, index=index)
+            _merge_shards(results, stats, topk)
+    return result_from_topk(topk, "top-down", (d, s, k), stats,
+                            timer.elapsed)
+
+
+_PARALLEL_METHODS = {
+    "greedy": parallel_gd_dccs,
+    "bottom-up": parallel_bu_dccs,
+    "top-down": parallel_td_dccs,
+}
+
+
+def parallel_dccs(graph, d, s, k, method, jobs, **options):
+    """Dispatch one resolved method to its parallel implementation."""
+    try:
+        fn = _PARALLEL_METHODS[method]
+    except KeyError:
+        raise ParameterError(
+            "method must be one of {}, got {!r}".format(
+                tuple(_PARALLEL_METHODS), method
+            )
+        ) from None
+    return fn(graph, d, s, k, jobs=jobs, **options)

@@ -1,0 +1,69 @@
+"""Cross-process serialization of the two graph backends.
+
+A parallel search ships its graph to every worker process exactly once —
+through the pool initializer, never per task.  For the frozen CSR backend
+that payload is the flat arrays themselves: each ``array.array`` pickles
+as one contiguous machine-typed buffer (the ``array`` reconstructor plus
+``tobytes()``), so an n-vertex, l-layer graph crosses the process
+boundary as ``2l`` buffers plus the label table, with no per-edge Python
+object overhead.  The dict backend is shipped as its edge list and
+rebuilt on the other side; it exists mainly so the ``jobs=`` option works
+on either backend, the frozen representation is the one the parallel
+subsystem is designed around.
+
+Reconstruction bypasses :meth:`FrozenMultiLayerGraph.from_graph` — the
+dense-id assignment was already done on the parent's side, and re-sorting
+labels in the worker could only introduce skew.  The payload *is* the
+authoritative id order.
+"""
+
+from repro.graph.frozen import FrozenMultiLayerGraph
+from repro.graph.multilayer import MultiLayerGraph
+
+
+def graph_payload(graph):
+    """A picklable payload for ``graph``; see :func:`payload_graph`.
+
+    Frozen graphs contribute their CSR arrays, edge counts, layer
+    bitmasks and label table verbatim (lazy caches are *not* shipped —
+    workers rebuild the mirrors they actually touch).  Dict graphs
+    contribute an explicit vertex list plus per-layer edge lists, so the
+    worker-side reconstruction is identical for every worker no matter
+    how the parent's hash order happened to fall out.
+    """
+    if getattr(graph, "is_frozen", False):
+        return (
+            "frozen",
+            graph.name,
+            list(graph.labels),
+            graph._indptr,
+            graph._indices,
+            list(graph._edge_counts),
+            list(graph._layer_masks),
+        )
+    vertices = list(graph.vertices())
+    try:
+        vertices.sort()
+    except TypeError:
+        vertices.sort(key=repr)
+    edges = [
+        (layer, u, v) for layer in graph.layers() for u, v in graph.edges(layer)
+    ]
+    return ("dict", graph.name, graph.num_layers, vertices, edges)
+
+
+def payload_graph(payload):
+    """Rebuild the graph behind a :func:`graph_payload` tuple."""
+    kind = payload[0]
+    if kind == "frozen":
+        _, name, labels, indptr, indices, edge_counts, layer_masks = payload
+        return FrozenMultiLayerGraph(
+            labels, indptr, indices, edge_counts, layer_masks, name=name
+        )
+    if kind == "dict":
+        _, name, num_layers, vertices, edges = payload
+        graph = MultiLayerGraph(num_layers, vertices=vertices, name=name)
+        for layer, u, v in edges:
+            graph.add_edge(layer, u, v)
+        return graph
+    raise ValueError("unknown graph payload kind {!r}".format(kind))

@@ -1,0 +1,242 @@
+"""Shard execution: the code that runs inside worker processes.
+
+A *shard* is an independent slice of one search's candidate space (see
+:mod:`repro.parallel.search` for how the three algorithms are sliced).
+:class:`ShardRunner` executes shards against one graph plus one immutable
+search *context* (parameters, preprocessed cores, layer order, the seeded
+initial result sets, ablation flags).  The same class backs both
+execution modes:
+
+* **inline** (``jobs=1`` or a single shard) — the orchestrator
+  instantiates a runner directly on its own graph object;
+* **pooled** — :func:`init_worker` runs once per worker process, rebuilds
+  the graph from its serialized payload (see
+  :mod:`repro.parallel.serialize`) and keeps a process-global runner;
+  :func:`run_shard` then serves every task the worker pulls off the
+  queue.
+
+Determinism is the design invariant: a shard's result depends only on
+``(graph, context, shard)`` — never on which worker ran it, how many
+workers exist, or in what order shards complete.  Worker-side caches
+(signature groups, the top-down hierarchy index) are rebuilt with
+``stats=None`` so the merged counters cannot drift with the worker
+count; the orchestrator charges each of those builds to the run's stats
+exactly once on its own side.
+"""
+
+from repro.core.bottomup import _BottomUpSearch
+from repro.core.coverage import DiversifiedTopK
+from repro.core.dcc import candidate_for_subset, layer_signature_groups
+from repro.core.index import CoreHierarchyIndex
+from repro.core.stats import SearchStats
+from repro.core.topdown import _TopDownSearch
+from repro.parallel.serialize import payload_graph
+from repro.utils.rng import make_rng
+
+
+def shard_seed(seed, shard_index):
+    """A per-shard RNG seed, derived deterministically from the search seed.
+
+    The sequential top-down search consumes one RNG stream; a sharded
+    search gives every shard its own stream so the draws of one shard can
+    never depend on how much randomness another shard consumed.  ``None``
+    maps to the library default seed 0, mirroring :func:`make_rng`.
+    """
+    base = 0 if seed is None else seed
+    return base * 1000003 + shard_index + 1
+
+
+class _RecordingTopK(DiversifiedTopK):
+    """A DiversifiedTopK that records accepted candidates while armed.
+
+    Shards run the normal Update machinery locally (so local pruning
+    stays armed exactly as in the sequential search) but must report
+    every *accepted* candidate to the orchestrator, which replays the
+    reports through the final top-k in canonical shard order.  Seeding
+    with the initial result sets happens before :attr:`recording` is
+    switched on, so seeds are not re-reported.
+    """
+
+    def __init__(self, k):
+        super().__init__(k)
+        self.accepted = []
+        self.recording = False
+
+    def try_update(self, candidate, label=None):
+        ok = super().try_update(candidate, label=label)
+        if ok and self.recording:
+            self.accepted.append((label, frozenset(candidate)))
+        return ok
+
+
+class ShardRunner:
+    """Executes shard tasks against one graph and one search context.
+
+    Parameters
+    ----------
+    graph:
+        Either backend; the parallel orchestrator hands workers a graph
+        rebuilt from the serialized payload.
+    context:
+        The immutable per-search dict built by
+        :mod:`repro.parallel.search` (keys: ``method``, ``d``, ``s``,
+        ``k``, ``cores``, ``alive``, ``order``, ``init_sets``, ``flags``,
+        plus ``root_core``/``seed`` for the top-down method).
+    index:
+        An optional pre-built :class:`CoreHierarchyIndex` for top-down
+        shards.  The inline path passes the orchestrator's; pooled
+        workers leave it unset and build their own lazily (uncharged —
+        see the module docstring).
+    """
+
+    def __init__(self, graph, context, index=None):
+        self.graph = graph
+        self.context = context
+        self._index = index
+        self._index_ready = index is not None
+        self._groups = None
+        self._groups_ready = False
+
+    def run(self, task):
+        """Execute ``(shard_index, kind, spec)`` → ``(shard_index,
+        accepted-or-generated candidates, SearchStats)``."""
+        shard_index, kind, spec = task
+        stats = SearchStats()
+        if kind == "greedy":
+            candidates = self._greedy_chunk(spec, stats)
+        elif kind == "bottom-up":
+            candidates = self._bottomup_subtree(spec, stats)
+        elif kind == "top-down":
+            candidates = self._topdown_subtree(shard_index, spec, stats)
+        else:
+            raise ValueError("unknown shard kind {!r}".format(kind))
+        return shard_index, candidates, stats
+
+    # ------------------------------------------------------------------
+    # per-method shard bodies
+    # ------------------------------------------------------------------
+
+    def _greedy_chunk(self, subsets, stats):
+        """One chunk of the candidate family: ``(L, C^d_L)`` per subset.
+
+        Byte-for-byte the per-subset work of the sequential
+        ``enumerate_candidates`` loop (same Lemma 1 bound, same frozen
+        signature fast path, same counter increments), so summed shard
+        stats equal the sequential run's.
+        """
+        context = self.context
+        d = context["d"]
+        cores = context["cores"]
+        groups = self._signature_groups()
+        candidates = []
+        for subset in subsets:
+            core = candidate_for_subset(
+                self.graph, d, subset, cores, groups=groups, stats=stats
+            )
+            stats.candidates_generated += 1
+            candidates.append((subset, core))
+        return candidates
+
+    def _bottomup_subtree(self, position, stats):
+        context = self.context
+        flags = context["flags"]
+        topk = self._seeded_topk()
+        search = _BottomUpSearch(
+            graph=self.graph,
+            d=context["d"],
+            s=context["s"],
+            order=context["order"],
+            cores=context["cores"],
+            topk=topk,
+            stats=stats,
+            use_order_pruning=flags["use_order_pruning"],
+            use_layer_pruning=flags["use_layer_pruning"],
+        )
+        search.run_subtree(position, context["alive"])
+        return topk.accepted
+
+    def _topdown_subtree(self, shard_index, drop, stats):
+        context = self.context
+        flags = context["flags"]
+        topk = self._seeded_topk()
+        search = _TopDownSearch(
+            graph=self.graph,
+            d=context["d"],
+            s=context["s"],
+            order=context["order"],
+            cores=context["cores"],
+            topk=topk,
+            index=self._topdown_index(),
+            rng=make_rng(shard_seed(context["seed"], shard_index)),
+            stats=stats,
+            use_order_pruning=flags["use_order_pruning"],
+            use_potential_pruning=flags["use_potential_pruning"],
+        )
+        root_positions = frozenset(range(self.graph.num_layers))
+        search.generate_shard(
+            root_positions, context["root_core"], frozenset(context["alive"]),
+            drop,
+        )
+        return topk.accepted
+
+    # ------------------------------------------------------------------
+    # lazily built per-runner state
+    # ------------------------------------------------------------------
+
+    def _seeded_topk(self):
+        """A fresh local top-k, seeded with the orchestrator's init sets.
+
+        Re-offering the (at most ``k``, non-empty, deduplicated-by-id)
+        initial sets in their original order reproduces the post-init
+        result state, which is what arms the Eq. (1) pruning rules inside
+        the shard exactly as in the sequential search.
+        """
+        topk = _RecordingTopK(self.context["k"])
+        for label, members in self.context["init_sets"]:
+            topk.try_update(members, label=label)
+        topk.recording = True
+        return topk
+
+    def _signature_groups(self):
+        """Frozen-backend signature groups for greedy chunks (cached)."""
+        if not self._groups_ready:
+            if self.graph.is_frozen:
+                self._groups = layer_signature_groups(self.context["cores"])
+            self._groups_ready = True
+        return self._groups
+
+    def _topdown_index(self):
+        """The hierarchy index for top-down shards (cached per runner).
+
+        Built silently (``stats=None``): the orchestrator accounts one
+        canonical build, and charging per-worker rebuilds would make the
+        merged counters depend on the worker count.
+        """
+        if not self._index_ready:
+            if self.context["flags"]["use_index"]:
+                self._index = CoreHierarchyIndex(
+                    self.graph, self.context["d"],
+                    within=self.context["alive"], stats=None,
+                )
+            self._index_ready = True
+        return self._index
+
+
+# ----------------------------------------------------------------------
+# process-pool plumbing
+# ----------------------------------------------------------------------
+
+_RUNNER = None
+
+
+def init_worker(payload, context):
+    """Pool initializer: deserialize the graph once per worker process."""
+    global _RUNNER
+    _RUNNER = ShardRunner(payload_graph(payload), context)
+
+
+def run_shard(task):
+    """Pool task entry point; requires :func:`init_worker` to have run."""
+    if _RUNNER is None:
+        raise RuntimeError("worker process was not initialised")
+    return _RUNNER.run(task)

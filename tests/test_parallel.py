@@ -1,0 +1,307 @@
+"""Determinism suite for the parallel subsystem (:mod:`repro.parallel`).
+
+The contract under test, in order of strength:
+
+1. **jobs invariance** — for every method, backend and seed,
+   ``search_dccs(..., jobs=N)`` returns bitwise identical sets, labels,
+   cover sizes *and aggregated stats counters* for every ``N`` (the
+   shard structure is jobs-independent and the merge order canonical);
+2. **greedy parity** — the parallel greedy is additionally bitwise
+   identical, counters included, to the sequential :func:`gd_dccs`
+   (its candidate family has no cross-candidate search state);
+3. **validity** — parallel tree-search results are genuine d-CCs on
+   their reported layer subsets (the shard variants may legally explore
+   a different slice of the tree than the sequential searches, but may
+   never report an invalid set).
+
+Pool spawns are real in these tests (``jobs=4`` forks four workers), so
+hypothesis example counts are kept deliberately small.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cli import main
+from repro.core import is_coherent_dense, search_dccs
+from repro.core.greedy import gd_dccs
+from repro.experiments.runner import measure_point
+from repro.graph import MultiLayerGraph, paper_figure1_graph
+from repro.parallel import (
+    MAX_WORKERS,
+    check_jobs,
+    effective_jobs,
+    graph_payload,
+    payload_graph,
+    shard_seed,
+)
+from repro.utils.errors import ParameterError
+from tests.strategies import (
+    labelled_multilayer_graphs,
+    multilayer_graphs,
+    search_parameters,
+)
+
+METHODS = ("greedy", "bottom-up", "top-down")
+
+
+def run(graph, d, s, k, **kwargs):
+    return search_dccs(graph, d, s, k, seed=5, **kwargs)
+
+
+def assert_identical(first, second, context=""):
+    assert first.sets == second.sets, context
+    assert first.labels == second.labels, context
+    assert first.cover_size == second.cover_size, context
+    assert first.stats.as_dict() == second.stats.as_dict(), context
+
+
+# ----------------------------------------------------------------------
+# 1. jobs invariance
+# ----------------------------------------------------------------------
+
+
+class TestJobsInvariance:
+    @given(st.data())
+    @settings(max_examples=5, deadline=None)
+    def test_jobs_1_vs_4_all_methods_both_backends(self, data):
+        graph = data.draw(multilayer_graphs(max_vertices=8, max_layers=3))
+        d, s, k = data.draw(search_parameters(graph))
+        for backend in ("dict", "frozen"):
+            for method in METHODS:
+                one = run(graph, d, s, k, method=method, backend=backend,
+                          jobs=1)
+                four = run(graph, d, s, k, method=method, backend=backend,
+                           jobs=4)
+                assert_identical(one, four, (backend, method, d, s, k))
+
+    @given(labelled_multilayer_graphs(max_vertices=7, max_layers=3))
+    @settings(max_examples=4, deadline=None)
+    def test_string_labels_survive_parallel_search(self, graph):
+        for method in METHODS:
+            one = run(graph, 1, 1, 2, method=method, backend="frozen",
+                      jobs=1)
+            four = run(graph, 1, 1, 2, method=method, backend="frozen",
+                       jobs=4)
+            assert_identical(one, four, method)
+            for members in four.sets:
+                assert all(isinstance(vertex, str) for vertex in members)
+
+    def test_jobs_invariance_on_a_candidate_heavy_config(self):
+        from repro.datasets import load
+
+        graph = load("english", scale=0.1, seed=0).graph
+        for method in METHODS:
+            one = run(graph, 3, 2, 4, method=method, jobs=1)
+            two = run(graph, 3, 2, 4, method=method, jobs=2)
+            four = run(graph, 3, 2, 4, method=method, jobs=4)
+            assert_identical(one, two, method)
+            assert_identical(one, four, method)
+
+    def test_default_seed_is_deterministic(self):
+        graph = paper_figure1_graph()
+        first = search_dccs(graph, 3, 2, 2, method="top-down", jobs=2)
+        second = search_dccs(graph, 3, 2, 2, method="top-down", jobs=2)
+        assert_identical(first, second)
+
+    def test_auto_jobs_matches_explicit(self):
+        graph = paper_figure1_graph()
+        auto = run(graph, 3, 2, 2, method="bottom-up", jobs=0)
+        explicit = run(graph, 3, 2, 2, method="bottom-up", jobs=2)
+        assert_identical(auto, explicit)
+
+    def test_top_down_full_support_root_only(self):
+        graph = paper_figure1_graph()
+        s = graph.num_layers
+        one = run(graph, 2, s, 2, method="top-down", jobs=1)
+        four = run(graph, 2, s, 2, method="top-down", jobs=4)
+        assert_identical(one, four)
+
+    def test_empty_result_under_huge_d(self):
+        graph = paper_figure1_graph()
+        for method in METHODS:
+            one = run(graph, 99, 2, 2, method=method, jobs=1)
+            four = run(graph, 99, 2, 2, method=method, jobs=4)
+            assert_identical(one, four, method)
+            assert four.sets == []
+
+
+# ----------------------------------------------------------------------
+# 2. greedy parity with the sequential algorithm
+# ----------------------------------------------------------------------
+
+
+class TestGreedyParity:
+    @given(st.data())
+    @settings(max_examples=5, deadline=None)
+    def test_parallel_greedy_equals_sequential(self, data):
+        graph = data.draw(multilayer_graphs(max_vertices=8, max_layers=3))
+        d, s, k = data.draw(search_parameters(graph))
+        for backend in ("dict", "frozen"):
+            sequential = run(graph, d, s, k, method="greedy",
+                             backend=backend)
+            parallel = run(graph, d, s, k, method="greedy",
+                           backend=backend, jobs=3)
+            assert_identical(sequential, parallel, (backend, d, s, k))
+
+    def test_parity_includes_candidate_family_size(self):
+        graph = paper_figure1_graph()
+        sequential = gd_dccs(graph, 3, 2, 2)
+        parallel = search_dccs(graph, 3, 2, 2, method="greedy",
+                               backend="dict", jobs=2)
+        assert (
+            parallel.stats.extra["candidate_family_size"]
+            == sequential.stats.extra["candidate_family_size"]
+        )
+
+
+# ----------------------------------------------------------------------
+# 3. validity of the tree-search shard variants
+# ----------------------------------------------------------------------
+
+
+class TestParallelTreeSearchValidity:
+    @given(st.data())
+    @settings(max_examples=5, deadline=None)
+    def test_reported_sets_are_coherent_cores(self, data):
+        graph = data.draw(multilayer_graphs(max_vertices=8, max_layers=3))
+        d, s, k = data.draw(search_parameters(graph))
+        for method in ("bottom-up", "top-down"):
+            result = run(graph, d, s, k, method=method, jobs=2)
+            assert len(result.sets) <= k
+            for label, members in zip(result.labels, result.sets):
+                assert len(label) == s
+                assert is_coherent_dense(graph, members, label, d)
+
+
+# ----------------------------------------------------------------------
+# plumbing: validation, serialization, CLI, runner
+# ----------------------------------------------------------------------
+
+
+class TestJobsValidation:
+    def test_check_jobs_accepts_none_zero_and_positive(self):
+        assert check_jobs(None) is None
+        assert check_jobs(0) == 0
+        assert check_jobs(5) == 5
+
+    @pytest.mark.parametrize("bad", [-1, 1.5, True, "four"])
+    def test_check_jobs_rejects_garbage(self, bad):
+        with pytest.raises(ParameterError):
+            check_jobs(bad)
+
+    def test_search_dccs_rejects_bad_jobs(self):
+        with pytest.raises(ParameterError):
+            search_dccs(paper_figure1_graph(), 1, 1, 1, jobs=-2)
+
+    def test_effective_jobs_resolution(self):
+        assert effective_jobs(3) == 3
+        assert effective_jobs(0) >= 1
+        assert effective_jobs(None) >= 1
+        assert effective_jobs(10 ** 6) == MAX_WORKERS
+
+
+class TestGraphPayloadRoundTrip:
+    @given(multilayer_graphs(max_vertices=8, max_layers=3))
+    @settings(max_examples=20, deadline=None)
+    def test_frozen_round_trip(self, graph):
+        frozen = graph.freeze()
+        rebuilt = payload_graph(graph_payload(frozen))
+        assert rebuilt == frozen
+        assert rebuilt.name == frozen.name
+
+    @given(labelled_multilayer_graphs(max_vertices=8, max_layers=3))
+    @settings(max_examples=20, deadline=None)
+    def test_dict_round_trip(self, graph):
+        rebuilt = payload_graph(graph_payload(graph))
+        assert rebuilt == graph
+        assert rebuilt.name == graph.name
+
+    def test_unknown_payload_kind(self):
+        with pytest.raises(ValueError):
+            payload_graph(("numpy", None))
+
+
+class TestShardSeeds:
+    def test_distinct_and_stable(self):
+        seeds = [shard_seed(7, index) for index in range(16)]
+        assert len(set(seeds)) == len(seeds)
+        assert seeds == [shard_seed(7, index) for index in range(16)]
+
+    def test_none_aliases_the_library_default(self):
+        assert shard_seed(None, 3) == shard_seed(0, 3)
+
+
+class TestPoolFallback:
+    def test_spawn_failure_at_submit_falls_back_inline(self, monkeypatch):
+        # CPython spawns pool workers lazily at submit(), so a sandbox
+        # that denies fork() fails there, not in the constructor; the
+        # shard queue must degrade to inline execution either way.
+        from repro.parallel import executor as executor_module
+
+        class BrokenPool:
+            def __init__(self, *args, **kwargs):
+                pass
+
+            def __enter__(self):
+                return self
+
+            def __exit__(self, *exc):
+                return False
+
+            def submit(self, *args, **kwargs):
+                raise OSError("fork denied")
+
+        monkeypatch.setattr(
+            executor_module, "ProcessPoolExecutor", BrokenPool
+        )
+        graph = paper_figure1_graph()
+        broken = run(graph, 3, 2, 2, method="bottom-up", jobs=4)
+        healthy = run(graph, 3, 2, 2, method="bottom-up", jobs=1)
+        assert_identical(broken, healthy)
+
+    def test_worker_exceptions_still_propagate(self, monkeypatch):
+        # Only pool-infrastructure failures trigger the fallback; a bug
+        # inside shard execution must surface, not be silently retried.
+        from repro.parallel import worker as worker_module
+
+        def explode(self, task):
+            raise ValueError("shard bug")
+
+        monkeypatch.setattr(worker_module.ShardRunner, "run", explode)
+        with pytest.raises(ValueError):
+            run(paper_figure1_graph(), 3, 2, 2, method="bottom-up", jobs=1)
+
+
+class TestPlumbing:
+    def test_prefrozen_graph_keeps_id_vocabulary(self):
+        graph = paper_figure1_graph()
+        frozen = graph.freeze()
+        raw = run(frozen, 3, 2, 2, method="greedy", jobs=2)
+        translated = run(graph, 3, 2, 2, method="greedy", backend="frozen",
+                         jobs=2)
+        assert [
+            frozen.labels_for(members) for members in raw.sets
+        ] == translated.sets
+
+    def test_measure_point_forwards_jobs(self):
+        graph = MultiLayerGraph(1, vertices=range(40))
+        for i in range(39):
+            graph.add_edge(0, i, i + 1)
+        sequential = measure_point(graph, 1, 1, 2, methods=["greedy"])
+        parallel = measure_point(graph, 1, 1, 2, methods=["greedy"], jobs=2)
+        for seq_row, par_row in zip(sequential, parallel):
+            assert seq_row["cover"] == par_row["cover"]
+            assert seq_row["dcc_calls"] == par_row["dcc_calls"]
+
+    def test_cli_search_jobs(self, capsys):
+        assert main([
+            "search", "ppi", "--scale", "0.2",
+            "-d", "2", "-s", "2", "-k", "2", "--jobs", "2",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "worker cap 2" in out
+
+    def test_cli_info_reports_workers(self, capsys):
+        assert main(["info", "ppi", "--scale", "0.2"]) == 0
+        assert "parallel_workers_effective" in capsys.readouterr().out
