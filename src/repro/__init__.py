@@ -10,6 +10,9 @@ The package exposes:
 * :mod:`repro.core` — d-coherent cores and the three DCCS algorithms
   (greedy, bottom-up, top-down) with :func:`repro.search_dccs` as the
   one-call entry point;
+* :mod:`repro.engine` — the persistent search session
+  (:class:`repro.DCCEngine`): one graph, a warm worker pool, per-graph
+  artifact caching, and the ``search_many`` batch API;
 * :mod:`repro.baselines` — the exact solver and the quasi-clique
   (MiMAG-style) comparison baseline;
 * :mod:`repro.metrics` — cover / similarity / recovery metrics;
@@ -35,14 +38,28 @@ from repro.core import (
 )
 from repro.graph import MultiLayerGraph
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "MultiLayerGraph",
     "search_dccs",
+    "DCCEngine",
     "coherent_core",
     "gd_dccs",
     "bu_dccs",
     "td_dccs",
     "__version__",
 ]
+
+
+def __getattr__(name):
+    # DCCEngine is exported lazily: the engine pulls in the parallel
+    # subsystem's multiprocessing plumbing, which `import repro` for a
+    # purely sequential script should not pay for.
+    if name == "DCCEngine":
+        from repro.engine import DCCEngine
+
+        return DCCEngine
+    raise AttributeError(
+        "module {!r} has no attribute {!r}".format(__name__, name)
+    )

@@ -3,16 +3,26 @@
 Subcommands
 -----------
 ``info``
-    Print statistics of a graph file or a named stand-in dataset.
+    Print statistics of a graph file or a named stand-in dataset, plus
+    the engine/pool configuration a search session would use.
 ``search``
     Run DCCS on a graph and print the reported d-CCs.
+``batch``
+    Run a JSON file of queries through one persistent
+    :class:`~repro.engine.DCCEngine` (pool spawned once, artifacts
+    shared across the batch).
 ``datasets``
     Print the Fig. 12 stand-in/paper statistics table.
 ``figure``
     Reproduce one of the paper's figures by number.
+
+Graph arguments accept a stand-in dataset name, ``figure1`` (the paper's
+quickstart example graph), a ``.json`` graph file or a layered edge-list
+file.
 """
 
 import argparse
+import json
 import sys
 
 from repro.core.api import search_dccs
@@ -39,7 +49,11 @@ from repro.graph.io import read_edge_list, read_json
 
 
 def _load_graph(source, scale, seed):
-    """A dataset name, a ``.json`` file or a layered edge-list file."""
+    """A dataset name, ``figure1``, a ``.json`` file or an edge-list file."""
+    if source == "figure1":
+        from repro.graph import paper_figure1_graph
+
+        return paper_figure1_graph()
     if source in DATASET_NAMES:
         return load(source, scale=scale, seed=seed).graph
     if source.endswith(".json"):
@@ -67,6 +81,21 @@ def _cmd_info(args):
     from repro.parallel import effective_jobs
 
     print("parallel_workers_effective: {}".format(effective_jobs(0)))
+    # The session a `repro batch` (or a library DCCEngine) over this
+    # graph would start from.  Constructing the engine is free — the
+    # pool spawns lazily and the cache starts empty — and the backend is
+    # pinned to the representation reported above, so no conversion is
+    # paid just to print status.
+    from repro.engine import DCCEngine
+
+    with DCCEngine(
+        graph, backend="frozen" if graph.is_frozen else "dict", jobs=0
+    ) as engine:
+        status = engine.info()
+    print("engine_workers: {}".format(status["workers"]))
+    print("engine_pool_spawned: {}".format(status["pool_spawned"]))
+    print("engine_cache_enabled: {}".format(status["cache_enabled"]))
+    print("engine_cache_entries: {}".format(status["cache_entries"]))
     return 0
 
 
@@ -96,6 +125,57 @@ def _cmd_search(args):
         print("  layers {} | {} vertices: {}{}".format(
             label, len(members), shown, suffix
         ))
+    return 0
+
+
+def _cmd_batch(args):
+    """Serve a JSON batch of queries from one persistent engine."""
+    from repro.engine import DCCEngine
+    from repro.utils.errors import GraphError
+    from repro.utils.timer import Timer
+
+    graph = _load_graph(args.graph, args.scale, args.seed)
+    with open(args.queries) as handle:
+        payload = json.load(handle)
+    queries = payload.get("queries") if isinstance(payload, dict) \
+        else payload
+    if not isinstance(queries, list) or not queries:
+        print("{}: expected a non-empty JSON list of queries (or an "
+              "object with a \"queries\" list)".format(args.queries),
+              file=sys.stderr)
+        return 2
+    for number, entry in enumerate(queries, 1):
+        if not isinstance(entry, dict):
+            print("{}: query {} is not a JSON object: {!r}".format(
+                args.queries, number, entry), file=sys.stderr)
+            return 2
+    try:
+        with Timer() as total:
+            with DCCEngine(graph, backend=args.backend,
+                           jobs=args.jobs) as engine:
+                engine.warm()
+                results = engine.search_many(queries)
+                status = engine.info()
+    except GraphError as error:
+        print("batch failed: {}".format(error), file=sys.stderr)
+        return 2
+    for number, (spec, result) in enumerate(zip(queries, results), 1):
+        print(
+            "[{}] {}: d={} s={} k={} -> {} d-CCs, cover {} vertices, "
+            "{:.3f}s".format(
+                number, result.algorithm, spec["d"], spec["s"], spec["k"],
+                len(result.sets), result.cover_size, result.elapsed,
+            )
+        )
+    print(
+        "batch: {} queries in {:.3f}s | pool: {} worker(s), spawned={} | "
+        "cache: {} entries, {} hits / {} lookups".format(
+            len(results), total.elapsed, status["workers"],
+            status["pool_spawned"], status["cache_entries"],
+            status["cache_hits"],
+            status["cache_hits"] + status["cache_misses"],
+        )
+    )
     return 0
 
 
@@ -348,6 +428,24 @@ def build_parser():
                              "search: 0 = one per CPU, N = exactly N "
                              "(default: classic single-process search)")
     search.set_defaults(fn=_cmd_search)
+
+    batch = sub.add_parser(
+        "batch", parents=[common],
+        help="run a JSON batch of queries through one persistent engine",
+    )
+    batch.add_argument("graph", help="dataset name or graph file")
+    batch.add_argument(
+        "queries",
+        help="JSON file: a list of {d, s, k[, method, options...]} "
+             "objects, or an object with a \"queries\" list",
+    )
+    batch.add_argument("--backend", default="auto",
+                       choices=("auto", "dict", "frozen"),
+                       help="graph backend, resolved once per session")
+    batch.add_argument("--jobs", type=int, default=0,
+                       help="persistent pool size: 0 = one worker per "
+                            "CPU (default), N = exactly N")
+    batch.set_defaults(fn=_cmd_batch)
 
     datasets = sub.add_parser("datasets", parents=[common],
                               help="print the Fig. 12/13 tables")

@@ -13,11 +13,13 @@ sets back to the caller's labels — results are identical between
 backends, bit for bit, only the wall clock differs.
 
 Finally it hides the *execution mode*: ``jobs=None`` (default) runs the
-classic single-process algorithms, while any other value routes through
-:mod:`repro.parallel`, which shards the candidate space across worker
-processes over one shared graph.  Parallel results are bitwise identical
-for every worker count (and, for the greedy method, identical to the
-sequential run as well).
+classic single-process algorithms, while any other value wraps a
+short-lived :class:`repro.engine.DCCEngine` session around the call —
+the sharded parallel search of :mod:`repro.parallel` over one shared
+graph.  Parallel results are bitwise identical for every worker count
+(and, for the greedy method, identical to the sequential run as well);
+callers issuing many searches over one graph should hold a ``DCCEngine``
+open themselves and amortise the pool across queries.
 """
 
 from repro.core.bottomup import bu_dccs
@@ -35,15 +37,42 @@ def choose_method(num_layers, s):
     return "bottom-up" if s < num_layers / 2 else "top-down"
 
 
-def _parallel(search_graph, d, s, k, method, jobs, options):
-    """Route one resolved method through :mod:`repro.parallel`.
+def resolve_method(num_layers, method, s, options):
+    """Validate and resolve ``method``, normalising ``options`` in place.
 
-    Imported lazily: the parallel subsystem pulls in multiprocessing
-    plumbing that purely sequential callers never need.
+    The one copy of the dispatch rules both entry points share —
+    :func:`search_dccs` and :meth:`repro.engine.DCCEngine.search` must
+    agree on them exactly, or their bitwise-equality contract breaks:
+    ``"auto"`` resolves via :func:`choose_method`, and a ``seed`` is
+    dropped for every method but top-down (only the Lemma 7 shortcut is
+    randomised; the other methods silently ignore a seed so callers can
+    sweep methods with uniform arguments).
     """
-    from repro.parallel import parallel_dccs
+    if method not in _METHODS:
+        raise ParameterError(
+            "method must be one of {}, got {!r}".format(_METHODS, method)
+        )
+    if method == "auto":
+        method = choose_method(num_layers, s)
+    if method != "top-down":
+        options.pop("seed", None)
+    return method
 
-    return parallel_dccs(search_graph, d, s, k, method, jobs, **options)
+
+def _engine_one_shot(graph, d, s, k, method, backend, jobs, options):
+    """Route one search through a short-lived :class:`DCCEngine`.
+
+    ``search_dccs(..., jobs=N)`` *is* an engine session of length one:
+    the engine resolves the backend, spawns the pool, runs the sharded
+    search and translates the results, and is closed before returning —
+    which is exactly what makes its output bitwise identical to a warm
+    engine serving the same query.  Imported lazily: the engine pulls in
+    multiprocessing plumbing that purely sequential callers never need.
+    """
+    from repro.engine import DCCEngine
+
+    with DCCEngine(graph, backend=backend, jobs=jobs) as engine:
+        return engine.search(d, s, k, method=method, **options)
 
 
 def search_dccs(graph, d, s, k, method="auto", backend="auto", jobs=None,
@@ -101,22 +130,16 @@ def search_dccs(graph, d, s, k, method="auto", backend="auto", jobs=None,
         from repro.parallel import check_jobs
 
         check_jobs(jobs)
+        return _engine_one_shot(graph, d, s, k, method, backend, jobs,
+                                options)
     # Backend resolution (a possible O(n + m) freeze — cached on the
     # graph, so repeated searches pay it once) and the final id-to-label
     # translation are charged to the result's elapsed time: reported
     # timings must not get faster by moving work outside the clock.
     with Timer() as overhead:
         search_graph, translate = resolve_search_graph(graph, backend)
-    if method == "auto":
-        method = choose_method(search_graph.num_layers, s)
-    if method != "top-down":
-        # Only the top-down search is randomised (the Lemma 7 shortcut);
-        # the other methods silently ignore a seed so callers can sweep
-        # methods with uniform arguments.
-        options.pop("seed", None)
-    if jobs is not None:
-        result = _parallel(search_graph, d, s, k, method, jobs, options)
-    elif method == "greedy":
+    method = resolve_method(search_graph.num_layers, method, s, options)
+    if method == "greedy":
         result = gd_dccs(search_graph, d, s, k, **options)
     elif method == "bottom-up":
         result = bu_dccs(search_graph, d, s, k, **options)

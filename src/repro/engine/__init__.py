@@ -1,0 +1,24 @@
+"""The engine session layer: persistent, multi-query d-CC serving.
+
+One :class:`DCCEngine` owns one graph for its lifetime and amortises
+everything a one-shot search throws away — the frozen conversion, the
+worker pool (processes keep the deserialized graph between queries), the
+per-graph artifact cache (d-core decompositions, InitTopK seeds, the
+hierarchy index, with stats-delta replay so warm results stay bitwise
+identical to cold ones), and the peel kernels' scratch buffers.
+
+This is the substrate the serving roadmap builds on: batching lives here
+today (``engine.search_many``), async and sharded multi-graph hosting
+slot in behind the same session boundary.  See ``docs/architecture.md``
+for the lifecycle and invalidation contract.
+"""
+
+from repro.engine.cache import ArtifactCache
+from repro.engine.session import DCCEngine
+from repro.graph.frozen import ScratchArena
+
+__all__ = [
+    "DCCEngine",
+    "ArtifactCache",
+    "ScratchArena",
+]

@@ -1,0 +1,129 @@
+"""Per-graph artifact cache: reuse across queries, replayed counters.
+
+A search session asks many related questions of one graph, and the
+expensive prefixes repeat: the per-layer d-core decomposition and its
+vertex-deletion fixed point depend only on ``(d, s, vertex-deletion
+flag)``, the InitTopK seeds add ``k``, the top-down hierarchy index and
+the root d-CC depend on the surviving vertex set.  :class:`ArtifactCache`
+memoises those artifacts per graph, keyed by their parameters plus the
+layer-subset signature they were computed over (today always the full
+layer set — the key shape is ready for sub-layer hosting).
+
+**The counter-replay contract.** Reported :class:`SearchStats` are part
+of this repo's bitwise-determinism guarantee, and a cache that silently
+skipped work would make a warm query report fewer ``dcc_calls`` than a
+cold one.  So every entry stores ``(value, stats delta)``: the build
+runs against a private stats object, and *every* lookup — hit or miss —
+hands the caller that delta to merge.  A warm query therefore reports
+exactly the counters of a cold one, verified property-wise in
+``tests/test_engine.py``.
+
+Cached values are normalised to immutable shapes (frozensets, tuples) so
+sharing across queries cannot alias mutable state.  Invalidation is the
+owning engine's job: the cache itself trusts its graph never to change,
+which :class:`repro.engine.DCCEngine` enforces through the graph's
+``mutation_version``.
+"""
+
+from repro.core.dcc import coherent_core
+from repro.core.index import CoreHierarchyIndex
+from repro.core.initk import init_topk
+from repro.core.preprocess import vertex_deletion
+from repro.core.stats import SearchStats
+
+
+class ArtifactCache:
+    """Memoised per-graph search artifacts with stats-delta replay."""
+
+    def __init__(self, graph):
+        self.graph = graph
+        # The layer-subset signature of every current key: engines serve
+        # whole-graph queries today, so this is the full layer tuple;
+        # sub-layer hosting will key finer without changing the scheme.
+        self._layers_signature = tuple(graph.layers())
+        self._entries = {}
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self):
+        return len(self._entries)
+
+    def clear(self):
+        self._entries.clear()
+
+    def stats(self):
+        """Hit/miss/size counters for ``engine.info()``."""
+        return {
+            "entries": len(self._entries),
+            "hits": self.hits,
+            "misses": self.misses,
+        }
+
+    def _get(self, key, build):
+        key = (self._layers_signature,) + key
+        try:
+            value, delta = self._entries[key]
+        except KeyError:
+            self.misses += 1
+            delta = SearchStats()
+            value = build(delta)
+            self._entries[key] = (value, delta)
+        else:
+            self.hits += 1
+        return value, delta
+
+    # ------------------------------------------------------------------
+    # the artifacts
+    # ------------------------------------------------------------------
+
+    def preprocess(self, d, s, enabled):
+        """The vertex-deletion fixed point (cores, alive set, support).
+
+        The cores are the per-layer d-core decomposition restricted to
+        the surviving vertices — the artifact every method's planning
+        starts from.  Normalised in place to immutable shapes before
+        caching.
+        """
+        def build(delta):
+            prep = vertex_deletion(self.graph, d, s, enabled=enabled,
+                                   stats=delta)
+            prep.alive = frozenset(prep.alive)
+            prep.cores = [frozenset(core) for core in prep.cores]
+            return prep
+
+        return self._get(("preprocess", d, s, enabled), build)
+
+    def init_sets(self, d, s, k, vd_enabled, prep):
+        """The InitTopK seeds as replayable ``(label, frozenset)`` pairs."""
+        def build(delta):
+            topk = init_topk(self.graph, d, s, k, prep.cores,
+                             within=prep.alive, stats=delta)
+            return tuple(
+                (label, frozenset(members))
+                for label, members in topk.labelled_sets()
+            )
+
+        return self._get(("init-topk", d, s, k, vd_enabled), build)
+
+    def hierarchy_index(self, d, s, vd_enabled, prep):
+        """The top-down hierarchy index over the preprocessed graph.
+
+        The index object is shared between queries; it is read-only
+        after construction apart from its internal scope memo, whose
+        values are themselves pure functions of the index.
+        """
+        def build(delta):
+            return CoreHierarchyIndex(self.graph, d, within=prep.alive,
+                                      stats=delta)
+
+        return self._get(("index", d, s, vd_enabled), build)
+
+    def root_core(self, d, s, vd_enabled, prep):
+        """The all-layers d-CC the top-down search starts from."""
+        def build(delta):
+            return frozenset(coherent_core(
+                self.graph, self.graph.layers(), d, within=prep.alive,
+                stats=delta,
+            ))
+
+        return self._get(("root-core", d, s, vd_enabled), build)

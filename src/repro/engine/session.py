@@ -1,0 +1,258 @@
+"""The persistent search engine: one graph, many queries.
+
+:class:`DCCEngine` is the session layer the one-shot
+:func:`repro.core.api.search_dccs` hides: it owns a graph for its
+lifetime and keeps everything a repeated search would otherwise rebuild —
+the resolved backend (one freeze, ever), a persistent worker pool whose
+processes hold the deserialized graph between queries
+(:class:`~repro.parallel.executor.WorkerPool`), a per-graph artifact
+cache with counter replay (:class:`~repro.engine.cache.ArtifactCache`),
+and a scratch arena the frozen peel kernels recycle buffers from
+(:class:`~repro.graph.frozen.ScratchArena`).
+
+**Result contract.** ``engine.search(...)`` is bitwise identical — sets,
+labels and aggregated counters — to ``search_dccs(..., jobs=N)`` for any
+``N``, warm or cold, on either backend (property-tested in
+``tests/test_engine.py``).  The engine always runs the sharded execution
+path; the classic sequential algorithms remain reachable through
+``search_dccs(..., jobs=None)``.
+
+**Invalidation contract.** The engine snapshots its source graph's
+``mutation_version`` at bind time and re-checks it before every search.
+Any mutation of the underlying :class:`MultiLayerGraph` — even one that
+leaves the topology equivalent — rebinds the session: frozen conversion,
+artifact cache and worker pool are discarded and rebuilt from the
+mutated graph.  A stale answer is never returned; the cost of mutation
+is a cold next query.
+
+Engines are not thread-safe (one ambient scratch arena, one pool); share
+the *graph* across engines, not an engine across threads.
+"""
+
+from repro.core.api import resolve_method
+from repro.core.dcc import validate_search_params
+from repro.engine.cache import ArtifactCache
+from repro.graph.backend import check_backend, resolve_search_graph
+from repro.graph.frozen import ScratchArena
+from repro.parallel.executor import WorkerPool, check_jobs
+from repro.parallel.plan import make_query
+from repro.parallel.search import execute_query, execute_query_batch
+from repro.utils.errors import EngineClosedError, ParameterError
+from repro.utils.timer import Timer
+
+
+class DCCEngine:
+    """A reusable d-CC search session over one multi-layer graph.
+
+    Parameters
+    ----------
+    graph:
+        A :class:`~repro.graph.multilayer.MultiLayerGraph` or an
+        already-frozen :class:`~repro.graph.frozen.FrozenMultiLayerGraph`.
+        Results are reported in this graph's vocabulary, exactly like
+        ``search_dccs``.
+    backend:
+        ``"auto"`` (default), ``"dict"`` or ``"frozen"`` — resolved once
+        per session instead of once per call.
+    jobs:
+        Persistent pool size with the usual semantics (``0`` = one
+        worker per CPU, default); ``None`` is accepted as an alias for
+        ``1``, i.e. inline sharded execution with no worker processes.
+        The pool spawns lazily; call :meth:`warm` to pay the spawn cost
+        up front.
+    cache_artifacts:
+        Switch the per-graph artifact cache off (``False``) for
+        memory-constrained sessions; results are identical either way.
+
+    Use as a context manager (or call :meth:`close`) so the worker
+    processes shut down deterministically::
+
+        with DCCEngine(graph, jobs=2) as engine:
+            first = engine.search(d=3, s=2, k=2)
+            rest = engine.search_many([
+                {"d": 3, "s": 2, "k": 4},
+                {"d": 2, "s": 3, "k": 2, "method": "bottom-up"},
+            ])
+    """
+
+    def __init__(self, graph, backend="auto", jobs=0, cache_artifacts=True):
+        check_backend(backend)
+        check_jobs(jobs)
+        self._source = graph
+        self._backend = backend
+        self._jobs = jobs
+        self._cache_enabled = cache_artifacts
+        self._closed = False
+        self.searches_served = 0
+        self.invalidations = 0
+        self._bind()
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+
+    def _bind(self):
+        """(Re)derive every per-graph resource from the source graph.
+
+        The backend-resolution cost (a possible O(n + m) freeze) is
+        remembered and charged to the next search's elapsed time, so
+        session timings stay comparable with one-shot ``search_dccs``.
+        """
+        with Timer() as overhead:
+            search_graph, translate = resolve_search_graph(
+                self._source, self._backend
+            )
+        self._graph = search_graph
+        self._translate = translate
+        self._pending_overhead = overhead.elapsed
+        self._version = self._source.mutation_version
+        self._pool = WorkerPool(self._graph, self._jobs)
+        self._cache = ArtifactCache(self._graph) if self._cache_enabled \
+            else None
+        self._arena = ScratchArena()
+
+    def _ensure_current(self):
+        if self._closed:
+            raise EngineClosedError()
+        if self._source.mutation_version != self._version:
+            # The source graph mutated under the session: the frozen
+            # conversion, every cached artifact and the graphs held by
+            # the worker processes all describe a graph that no longer
+            # exists.  Rebind rather than ever answering stale.
+            self._pool.close()
+            self.invalidations += 1
+            self._bind()
+
+    def warm(self):
+        """Spawn the worker pool now; returns whether workers are live.
+
+        Sweeps and benchmarks call this so process-spawn cost lands
+        outside per-query timers (see ``docs/experiments.md``).
+        """
+        self._ensure_current()
+        return self._pool.warm()
+
+    def close(self):
+        """Shut down the worker pool; further searches raise."""
+        if not self._closed:
+            self._closed = True
+            self._pool.close()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        self.close()
+        return False
+
+    # ------------------------------------------------------------------
+    # querying
+    # ------------------------------------------------------------------
+
+    @property
+    def graph(self):
+        """The resolved search graph (may be an internal frozen copy)."""
+        return self._graph
+
+    @property
+    def source_graph(self):
+        """The graph the engine was constructed over."""
+        return self._source
+
+    def search(self, d, s, k, method="auto", **options):
+        """One search through the warm session; a :class:`DCCSResult`.
+
+        Accepts exactly the ``search_dccs`` method/option surface
+        (``seed`` for top-down, preprocessing and pruning switches,
+        ``stats``) and reports sets in the source graph's vocabulary.
+        """
+        self._ensure_current()
+        stats = options.pop("stats", None)
+        query = self._query_for(d, s, k, method, options)
+        with self._arena:
+            result = execute_query(self._graph, query, self._pool,
+                                   stats=stats, artifacts=self._cache)
+        return self._deliver(result)
+
+    def search_many(self, queries):
+        """Pipeline a batch of query specs through the warm pool.
+
+        ``queries`` is an iterable of dicts with keys ``d``, ``s``,
+        ``k`` and optionally ``method`` plus any ``search`` options.
+        Results come back in input order, each bitwise identical to the
+        corresponding :meth:`search` call; shard tasks of query ``i+1``
+        are already queued while query ``i`` executes.
+        """
+        self._ensure_current()
+        specs = []
+        for entry in queries:
+            entry = dict(entry)
+            try:
+                d = entry.pop("d")
+                s = entry.pop("s")
+                k = entry.pop("k")
+            except KeyError as missing:
+                raise ParameterError(
+                    "batch query {!r} is missing required key {}".format(
+                        entry, missing
+                    )
+                ) from None
+            method = entry.pop("method", "auto")
+            entry.pop("stats", None)
+            specs.append(self._query_for(d, s, k, method, entry))
+        with self._arena:
+            results = execute_query_batch(self._graph, specs, self._pool,
+                                          artifacts=self._cache)
+        return [self._deliver(result) for result in results]
+
+    def info(self):
+        """Pool and cache status for monitoring (and ``repro info``)."""
+        cache_stats = self._cache.stats() if self._cache is not None else {
+            "entries": 0, "hits": 0, "misses": 0,
+        }
+        return {
+            "backend": "frozen-csr" if self._graph.is_frozen
+            else "dict-of-sets",
+            "translate_results": self._translate,
+            "workers": self._pool.workers,
+            "pool_spawned": self._pool.spawned,
+            "pool_inline_fallback": self._pool.inline_fallback,
+            "pool_queries_served": self._pool.queries_served,
+            "pool_tasks_executed": self._pool.tasks_executed,
+            "searches_served": self.searches_served,
+            "cache_enabled": self._cache is not None,
+            "cache_entries": cache_stats["entries"],
+            "cache_hits": cache_stats["hits"],
+            "cache_misses": cache_stats["misses"],
+            "scratch_reuses": self._arena.reuses,
+            "invalidations": self.invalidations,
+            "mutation_version": self._version,
+            "closed": self._closed,
+        }
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+
+    def _query_for(self, d, s, k, method, options):
+        # Validate eagerly — search_many must reject a malformed spec
+        # before any query of its batch is submitted, not mid-pipeline
+        # with completed work in flight.
+        validate_search_params(self._graph, d, s, k)
+        method = resolve_method(self._graph.num_layers, method, s, options)
+        return make_query(method, d, s, k, **options)
+
+    def _deliver(self, result):
+        result.elapsed += self._pending_overhead
+        self._pending_overhead = 0.0
+        if self._translate:
+            # The search ran on an internally frozen copy: convert the
+            # dense ids back to the source graph's labels, on the clock,
+            # exactly as the one-shot path does.
+            with Timer() as translation:
+                result.sets = [
+                    self._graph.labels_for(members) for members in result.sets
+                ]
+            result.elapsed += translation.elapsed
+        self.searches_served += 1
+        return result

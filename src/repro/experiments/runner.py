@@ -8,10 +8,11 @@ that inner loop; the sweep modules compose it.
 
 from repro.core.api import search_dccs
 from repro.graph.backend import resolve_search_graph
+from repro.utils.errors import ParameterError
 
 
 def measure_point(graph, d, s, k, methods, seed=0, backend="auto",
-                  jobs=None, **options):
+                  jobs=None, engine=None, **options):
     """Run each method once and return one row per method.
 
     ``options`` are forwarded to :func:`repro.core.search_dccs` (pruning
@@ -20,20 +21,39 @@ def measure_point(graph, d, s, k, methods, seed=0, backend="auto",
     frozen CSR backend, so the recorded times reflect it.  ``jobs``
     selects the execution mode the same way it does on ``search_dccs``:
     ``None`` measures the sequential algorithms, anything else the
-    sharded parallel variants (worker-pool spawn cost lands inside each
-    row's timer — parallel rows report what a caller would actually
-    get).  The backend conversion cache is warmed up front: these rows
-    compare *methods*, so the one-time freeze/thaw cost must not land on
-    whichever method happens to run first.
+    sharded parallel variants.
+
+    ``engine`` reuses a warm :class:`repro.engine.DCCEngine` that owns
+    ``graph`` (``backend``/``jobs`` are then the engine's own).  Timer
+    semantics differ deliberately between the two parallel modes:
+    without an engine each row's timer *includes* the worker-pool spawn,
+    because that is what a one-shot caller actually pays; with an engine
+    the pool is warmed before the first timed row, so rows record the
+    amortised per-query latency of a session — see
+    ``docs/experiments.md``.  Either way the one-time backend
+    conversion is warmed up front: these rows compare *methods*, so the
+    freeze/thaw cost must not land on whichever method runs first.
     """
-    resolve_search_graph(graph, backend)
+    if engine is not None:
+        if engine.source_graph is not graph:
+            raise ParameterError(
+                "the supplied engine owns a different graph than the one "
+                "being measured"
+            )
+        engine.warm()
+
+        def run(method):
+            return engine.search(d, s, k, method=method, seed=seed,
+                                 **options)
+    else:
+        resolve_search_graph(graph, backend)
+
+        def run(method):
+            return search_dccs(graph, d, s, k, method=method, seed=seed,
+                               backend=backend, jobs=jobs, **options)
     rows = []
     for method in methods:
-        result = search_dccs(
-            graph, d, s, k, method=method, seed=seed, backend=backend,
-            jobs=jobs, **options
-        )
-        rows.append(result_row(result, method=method, d=d, s=s, k=k))
+        rows.append(result_row(run(method), method=method, d=d, s=s, k=k))
     return rows
 
 
@@ -53,7 +73,7 @@ def result_row(result, **extra):
 
 
 def sweep(graph, parameter, values, base, methods, backend="auto",
-          jobs=None, **options):
+          jobs=None, engine=None, **options):
     """Sweep ``parameter`` over ``values`` with other params from ``base``.
 
     ``base`` maps ``d``/``s``/``k`` to their fixed values; the swept
@@ -62,16 +82,30 @@ def sweep(graph, parameter, values, base, methods, backend="auto",
     resolves to frozen, the freeze is paid once per graph (cached) and
     excluded from every row: :func:`measure_point` warms the conversion
     cache before its timers start, so rows compare methods only.
-    ``jobs`` is forwarded to every point (see :func:`measure_point`).
+
+    Parallel sweeps run through one engine session: with ``jobs`` set
+    (and no ``engine`` supplied) a :class:`repro.engine.DCCEngine` is
+    created once and serves **every point**, so the pool spawns once per
+    sweep instead of once per row and per-graph artifacts carry across
+    points.  Pass ``engine=`` to share a session across sweeps.
     """
+    own_engine = None
+    if engine is None and jobs is not None:
+        from repro.engine import DCCEngine
+
+        own_engine = engine = DCCEngine(graph, backend=backend, jobs=jobs)
     rows = []
-    for value in values:
-        point = dict(base)
-        point[parameter] = value
-        for row in measure_point(
-            graph, point["d"], point["s"], point["k"], methods,
-            backend=backend, jobs=jobs, **options
-        ):
-            row[parameter] = value
-            rows.append(row)
+    try:
+        for value in values:
+            point = dict(base)
+            point[parameter] = value
+            for row in measure_point(
+                graph, point["d"], point["s"], point["k"], methods,
+                backend=backend, jobs=jobs, engine=engine, **options
+            ):
+                row[parameter] = value
+                rows.append(row)
+    finally:
+        if own_engine is not None:
+            own_engine.close()
     return rows

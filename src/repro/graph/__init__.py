@@ -65,6 +65,7 @@ from repro.graph.backend import (
 )
 from repro.graph.frozen import (
     FrozenMultiLayerGraph,
+    ScratchArena,
     frozen_coherent_core,
     frozen_layer_core,
 )
@@ -80,6 +81,7 @@ __all__ = [
     "should_freeze",
     "frozen_layer_core",
     "frozen_coherent_core",
+    "ScratchArena",
     "LayerView",
     "layer_statistics",
     "layer_edge_jaccard",

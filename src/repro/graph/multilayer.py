@@ -53,7 +53,7 @@ class MultiLayerGraph:
     """
 
     __slots__ = ("_adj", "_vertices", "_edge_counts", "_frozen_cache",
-                 "_vset_cache", "name")
+                 "_vset_cache", "_version", "name")
 
     def __init__(self, num_layers, vertices=(), name=""):
         if num_layers < 1:
@@ -65,6 +65,7 @@ class MultiLayerGraph:
         self._edge_counts = [0] * num_layers
         self._frozen_cache = None
         self._vset_cache = None
+        self._version = 0
         self.name = name
         self.add_vertices(vertices)
 
@@ -76,6 +77,17 @@ class MultiLayerGraph:
     def is_frozen(self):
         """``False`` — this is the mutable dict backend of the protocol."""
         return False
+
+    @property
+    def mutation_version(self):
+        """A counter that ticks on every mutation.
+
+        The same events that invalidate the cached ``freeze()`` result
+        bump this counter, which gives session layers (notably
+        :class:`repro.engine.DCCEngine`) an O(1) staleness check for any
+        artifact they derived from a snapshot of this graph.
+        """
+        return self._version
 
     @property
     def num_layers(self):
@@ -134,6 +146,7 @@ class MultiLayerGraph:
             for adj in self._adj:
                 adj[vertex] = set()
             self._frozen_cache = None
+            self._version += 1
             self._vset_cache = None
 
     def add_vertices(self, vertices):
@@ -158,6 +171,7 @@ class MultiLayerGraph:
             self._adj[layer][v].add(u)
             self._edge_counts[layer] += 1
             self._frozen_cache = None
+            self._version += 1
 
     def add_edges(self, layer, edges):
         """Add every ``(u, v)`` pair from ``edges`` on ``layer``."""
@@ -176,6 +190,7 @@ class MultiLayerGraph:
             raise VertexError((u, v)) from None
         self._edge_counts[layer] -= 1
         self._frozen_cache = None
+        self._version += 1
 
     def remove_vertex(self, vertex):
         """Remove ``vertex`` and all its incident edges from every layer."""
@@ -188,6 +203,7 @@ class MultiLayerGraph:
         self._vertices.remove(vertex)
         self._frozen_cache = None
         self._vset_cache = None
+        self._version += 1
 
     def remove_vertices(self, vertices):
         """Remove every vertex in the iterable ``vertices``."""

@@ -8,44 +8,61 @@ coordination.  ``search_dccs(..., jobs=N)`` routes here; see
 output is bitwise identical for every worker count, and
 ``docs/architecture.md`` for the prose version.
 
+Pool lifecycle is split from per-search submission: a
+:class:`~repro.parallel.executor.WorkerPool` ships the graph once per
+worker process and then serves any number of queries, each crossing the
+process boundary as a tiny ``(method, d, s, k, options)`` spec
+(:class:`~repro.parallel.plan.Query`).  One-shot searches wrap a
+short-lived pool; :class:`repro.engine.DCCEngine` keeps one warm.
+
 Layout
 ------
 * :mod:`~repro.parallel.serialize` — one-shot graph payloads (frozen CSR
   arrays ship as flat buffers; the dict backend as an edge list);
-* :mod:`~repro.parallel.worker` — shard execution, shared by the inline
-  path and the worker processes;
-* :mod:`~repro.parallel.executor` — the chunked work queue /
-  process-pool plumbing (``check_jobs`` / ``effective_jobs`` /
-  ``map_shards``);
-* :mod:`~repro.parallel.search` — orchestration: shard, execute, merge.
+* :mod:`~repro.parallel.plan` — query specs and deterministic planning
+  (``make_query`` / ``plan_query``), shared by orchestrator and workers;
+* :mod:`~repro.parallel.worker` — shard execution and the per-query
+  context cache, shared by the inline path and the worker processes;
+* :mod:`~repro.parallel.executor` — pool lifecycle and the chunked shard
+  queue (``check_jobs`` / ``effective_jobs`` / ``WorkerPool``);
+* :mod:`~repro.parallel.search` — orchestration: plan, execute, merge.
 """
 
 from repro.parallel.executor import (
     MAX_WORKERS,
+    WorkerPool,
     check_jobs,
     effective_jobs,
-    map_shards,
 )
+from repro.parallel.plan import Query, make_query, plan_query
 from repro.parallel.search import (
+    execute_query,
+    execute_query_batch,
     parallel_bu_dccs,
     parallel_dccs,
     parallel_gd_dccs,
     parallel_td_dccs,
 )
 from repro.parallel.serialize import graph_payload, payload_graph
-from repro.parallel.worker import ShardRunner, shard_seed
+from repro.parallel.worker import QueryRunnerCache, ShardRunner, shard_seed
 
 __all__ = [
     "parallel_dccs",
     "parallel_gd_dccs",
     "parallel_bu_dccs",
     "parallel_td_dccs",
+    "execute_query",
+    "execute_query_batch",
     "check_jobs",
     "effective_jobs",
-    "map_shards",
+    "WorkerPool",
     "MAX_WORKERS",
+    "Query",
+    "make_query",
+    "plan_query",
     "graph_payload",
     "payload_graph",
+    "QueryRunnerCache",
     "ShardRunner",
     "shard_seed",
 ]

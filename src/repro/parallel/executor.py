@@ -1,13 +1,15 @@
-"""The chunked work queue that drives shard execution.
+"""Worker-pool lifecycle, split from per-search task submission.
 
-:func:`map_shards` is the single execution primitive of the parallel
-subsystem: given a list of shard tasks it either runs them inline (one
-worker, or a single shard — no pool is worth spawning) or submits each
-task to a :class:`~concurrent.futures.ProcessPoolExecutor` whose
-initializer ships the serialized graph and search context **once per
-worker process**.  Tasks themselves are tiny shard specs, so an idle
-worker pulling the next task off the queue costs a few bytes of pickle,
-not a graph copy.
+:class:`WorkerPool` is the execution primitive of the parallel
+subsystem: it owns a :class:`~concurrent.futures.ProcessPoolExecutor`
+whose initializer ships the serialized graph **once per worker process,
+for the pool's whole lifetime**.  Each search afterwards crosses the
+process boundary as a tiny :class:`~repro.parallel.plan.Query` spec
+riding along its shard tasks — a few dozen bytes of pickle, not a graph
+or context copy — and workers re-derive (and cache) the search context
+locally.  A one-shot ``search_dccs(..., jobs=N)`` wraps a short-lived
+pool around a single query; :class:`repro.engine.DCCEngine` keeps one
+warm across many.
 
 Completion order is explicitly irrelevant: results carry their shard
 index and are re-sorted before the orchestrator merges them, which is
@@ -19,12 +21,19 @@ from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 
 from repro.parallel.serialize import graph_payload
-from repro.parallel.worker import ShardRunner, init_worker, run_shard
+from repro.parallel.worker import (
+    QueryRunnerCache,
+    init_persistent_worker,
+    ping_worker,
+    run_query_shard,
+)
 from repro.utils.errors import ParameterError
 
 # A hard ceiling on pool size: beyond this, per-process interpreter and
 # graph-deserialization overhead dominates any conceivable win.
 MAX_WORKERS = 64
+
+_SPAWN_ERRORS = (OSError, PermissionError, BrokenProcessPool)
 
 
 def check_jobs(jobs):
@@ -57,57 +66,198 @@ def effective_jobs(jobs=0):
     return max(1, min(jobs, MAX_WORKERS))
 
 
-def map_shards(graph, context, tasks, jobs, index=None):
-    """Execute shard ``tasks`` and return their results in shard order.
+class _InlineHandle:
+    """A submitted query whose shards will run on the orchestrator."""
+
+    def __init__(self, pool, query, tasks, plan):
+        self._pool = pool
+        self._query = query
+        self._tasks = tasks
+        self._plan = plan
+
+    def collect(self):
+        return self._pool._run_inline(self._query, self._tasks, self._plan)
+
+
+class _PoolHandle:
+    """A submitted query whose shard futures are in flight."""
+
+    def __init__(self, pool, query, tasks, plan, futures):
+        self._pool = pool
+        self._query = query
+        self._tasks = tasks
+        self._plan = plan
+        self._futures = futures
+
+    def collect(self):
+        results = []
+        try:
+            # A worker raising an ordinary exception is *not* caught
+            # here — it propagates from future.result() as itself.
+            for future in self._futures:
+                results.append(future.result())
+        except _SPAWN_ERRORS:
+            if results:
+                # The pool worked and then died mid-run (a worker was
+                # OOM-killed, segfaulted, ...).  That is a real failure
+                # to surface, not an environment that cannot fork —
+                # silently rerunning everything inline would only mask
+                # it.
+                raise
+            self._pool._mark_broken()
+            return self._pool._run_inline(self._query, self._tasks,
+                                          self._plan)
+        results.sort(key=lambda item: item[0])
+        return results
+
+
+class WorkerPool:
+    """A persistent pool whose workers hold one deserialized graph.
 
     Parameters
     ----------
-    graph / context:
-        What every shard computes against; see
-        :class:`~repro.parallel.worker.ShardRunner`.
-    tasks:
-        ``(shard_index, kind, spec)`` triples.
+    graph:
+        Either backend; serialized lazily, at first spawn.
     jobs:
-        Requested worker count (already validated); resolved via
-        :func:`effective_jobs` and additionally capped by the task count.
-    index:
-        Optional pre-built top-down hierarchy index, used only on the
-        inline path (it cannot be shipped to workers cheaply; they
-        rebuild their own, uncharged).
+        Worker-count request with ``search_dccs`` semantics (``0`` =
+        one per CPU); ``None`` is accepted as an alias for ``1``.
 
-    The pool path degrades gracefully: if worker processes cannot be
-    spawned at all (restricted sandboxes), the shards run inline — same
+    The pool spawns lazily — constructing one is free, the process-fork
+    and graph-shipping cost lands on the first multi-task query (or on
+    an explicit :meth:`warm`).  When one effective worker suffices, or
+    worker processes cannot be spawned at all (restricted sandboxes),
+    every query runs inline on the orchestrator through the same
+    :class:`~repro.parallel.worker.QueryRunnerCache` machinery — same
     results, one core.
+
+    Use as a context manager, or call :meth:`close`; an unclosed pool
+    keeps its worker processes alive until garbage collection.
     """
-    workers = min(effective_jobs(jobs), len(tasks))
-    if workers <= 1:
-        runner = ShardRunner(graph, context, index=index)
-        return [runner.run(task) for task in tasks]
-    payload = graph_payload(graph)
-    results = []
-    try:
-        # Worker processes are spawned lazily (at submit time on
-        # CPython), so the whole submit/collect phase sits inside the
-        # try: a sandbox that denies fork()/clone() surfaces as OSError
-        # or a broken pool only once tasks are submitted.  A worker
-        # raising an ordinary exception is *not* caught here — it
-        # propagates from future.result() as itself.
-        with ProcessPoolExecutor(
-            max_workers=workers,
-            initializer=init_worker,
-            initargs=(payload, context),
-        ) as pool:
-            futures = [pool.submit(run_shard, task) for task in tasks]
+
+    def __init__(self, graph, jobs=0):
+        jobs = check_jobs(1 if jobs is None else jobs)
+        self.graph = graph
+        self.workers = effective_jobs(jobs)
+        self._payload = None
+        self._pool = None
+        self._broken = False
+        self._closed = False
+        self._inline = QueryRunnerCache(graph)
+        self.queries_served = 0
+        self.tasks_executed = 0
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+
+    @property
+    def spawned(self):
+        """Whether worker processes are currently live."""
+        return self._pool is not None
+
+    @property
+    def inline_fallback(self):
+        """Whether spawning failed and queries degrade to inline runs."""
+        return self._broken
+
+    def warm(self):
+        """Spawn and touch every worker now, returning success.
+
+        Callers that time individual queries (sweeps, benchmarks) warm
+        the pool first so process-spawn cost is a session cost, not part
+        of whichever query happens to run first.  No-op when the pool
+        runs inline anyway.
+        """
+        if self.workers <= 1 or self._broken or self._closed:
+            return False
+        pool = self._ensure_pool()
+        if pool is None:
+            return False
+        try:
+            futures = [pool.submit(ping_worker)
+                       for _ in range(self.workers)]
             for future in futures:
-                results.append(future.result())
-    except (OSError, PermissionError, BrokenProcessPool):
-        if results:
-            # The pool worked and then died mid-run (a worker was
-            # OOM-killed, segfaulted, ...).  That is a real failure to
-            # surface, not an environment that cannot fork — silently
-            # rerunning everything inline would only mask it.
-            raise
-        runner = ShardRunner(graph, context, index=index)
+                future.result()
+        except _SPAWN_ERRORS:
+            self._mark_broken()
+            return False
+        return True
+
+    def close(self):
+        """Shut the worker processes down; inline execution still works."""
+        self._closed = True
+        self._shutdown_pool()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        self.close()
+        return False
+
+    def _ensure_pool(self):
+        if self._pool is None and not self._broken and not self._closed:
+            if self._payload is None:
+                self._payload = graph_payload(self.graph)
+            try:
+                self._pool = ProcessPoolExecutor(
+                    max_workers=self.workers,
+                    initializer=init_persistent_worker,
+                    initargs=(self._payload,),
+                )
+            except _SPAWN_ERRORS:
+                self._mark_broken()
+        return self._pool
+
+    def _mark_broken(self):
+        self._broken = True
+        self._shutdown_pool()
+
+    def _shutdown_pool(self):
+        pool, self._pool = self._pool, None
+        shutdown = getattr(pool, "shutdown", None)
+        if shutdown is not None:
+            shutdown(wait=False, cancel_futures=True)
+
+    # ------------------------------------------------------------------
+    # per-search submission
+    # ------------------------------------------------------------------
+
+    def submit_query(self, query, tasks, plan=None):
+        """Submit one query's shard tasks; returns a handle for collect.
+
+        Submission does not block on execution, which is what lets a
+        batch pipeline its queries: plan and submit query ``i+1`` while
+        the workers still chew on query ``i``'s shards.
+        """
+        if (self.workers <= 1 or len(tasks) <= 1 or self._broken
+                or self._closed):
+            return _InlineHandle(self, query, tasks, plan)
+        pool = self._ensure_pool()
+        if pool is None:
+            return _InlineHandle(self, query, tasks, plan)
+        try:
+            # Worker processes are spawned lazily (at submit time on
+            # CPython), so a sandbox that denies fork()/clone() surfaces
+            # as OSError or a broken pool here, not in the constructor.
+            futures = [pool.submit(run_query_shard, (query, task))
+                       for task in tasks]
+        except _SPAWN_ERRORS:
+            self._mark_broken()
+            return _InlineHandle(self, query, tasks, plan)
+        return _PoolHandle(self, query, tasks, plan, futures)
+
+    def collect(self, handle):
+        """Block for a submitted query's results, in shard order."""
+        results = handle.collect()
+        self.queries_served += 1
+        self.tasks_executed += len(results)
+        return results
+
+    def map_query(self, query, tasks, plan=None):
+        """Submit-and-collect: execute ``tasks`` and return shard results."""
+        return self.collect(self.submit_query(query, tasks, plan))
+
+    def _run_inline(self, query, tasks, plan):
+        runner = self._inline.runner(query, plan)
         return [runner.run(task) for task in tasks]
-    results.sort(key=lambda item: item[0])
-    return results

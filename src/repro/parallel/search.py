@@ -1,6 +1,7 @@
-"""Parallel DCCS orchestration: shard, execute, merge.
+"""Parallel DCCS orchestration: plan, execute, merge.
 
-The three algorithms shard along their natural seams:
+The three algorithms shard along their natural seams (see
+:mod:`repro.parallel.plan` for the planning half):
 
 * **greedy** — the candidate family is ``binom(l, s)`` independent d-CC
   computations; the layer subsets are cut into chunks (a few per worker,
@@ -31,56 +32,21 @@ isolated shards, so parallel bottom-up/top-down are documented variants
 that explore at least as much of the tree as their sequential
 counterparts and merge through identical selection logic.  Greedy has no
 cross-candidate search state, hence its exact-parity guarantee.
+
+Execution happens through a :class:`~repro.parallel.executor.WorkerPool`:
+the ``parallel_*_dccs`` entry points wrap a short-lived pool around one
+query, while :func:`execute_query` / :func:`execute_query_batch` accept a
+caller-owned pool (how :class:`repro.engine.DCCEngine` amortises spawn
+cost across a whole session).
 """
 
-from itertools import combinations
-
-from repro.core.coverage import DiversifiedTopK
-from repro.core.dcc import coherent_core, validate_search_params
 from repro.core.greedy import greedy_max_k_cover
-from repro.core.index import CoreHierarchyIndex
-from repro.core.initk import init_topk
-from repro.core.preprocess import order_layers, vertex_deletion
 from repro.core.result import DCCSResult, result_from_topk
 from repro.core.stats import SearchStats
-from repro.parallel.executor import effective_jobs, map_shards
+from repro.parallel.executor import WorkerPool
+from repro.parallel.plan import make_query, plan_query
 from repro.utils.errors import ParameterError
 from repro.utils.timer import Timer
-
-# Chunks per worker for the greedy candidate family: enough slack that a
-# straggler chunk cannot idle the rest of the pool, few enough that task
-# overhead stays negligible.  Chunk boundaries never affect results.
-CHUNKS_PER_WORKER = 4
-
-
-def _chunked(items, chunks):
-    """Cut ``items`` into at most ``chunks`` contiguous, ordered slices."""
-    size = max(1, -(-len(items) // max(1, chunks)))
-    return [items[i:i + size] for i in range(0, len(items), size)]
-
-
-def _context(method, d, s, k, cores, alive, order, init_sets, flags,
-             **extras):
-    context = {
-        "method": method,
-        "d": d,
-        "s": s,
-        "k": k,
-        "cores": [frozenset(core) for core in cores],
-        "alive": frozenset(alive),
-        "order": tuple(order) if order is not None else None,
-        "init_sets": init_sets,
-        "flags": flags,
-        "seed": None,
-    }
-    context.update(extras)
-    return context
-
-
-def _seeded(topk):
-    """Freeze a top-k's labelled sets for shipping to the shards."""
-    return [(label, frozenset(members)) for label, members in
-            topk.labelled_sets()]
 
 
 def _merge_shards(results, stats, topk):
@@ -91,6 +57,91 @@ def _merge_shards(results, stats, topk):
             topk.try_update(members, label=label)
 
 
+def _finish(graph, query, plan, results, stats):
+    """Merge one query's shard results into its :class:`DCCSResult`.
+
+    ``elapsed`` is left at zero — the caller owns the clock, because
+    what counts as "the query's time" differs between the one-shot path
+    (plan + execute + merge) and a pipelined batch (windows overlap).
+    """
+    d, s, k = query.d, query.s, query.k
+    if query.method == "greedy":
+        candidates = []
+        for _, chunk, shard_stats in results:
+            stats.merge(shard_stats)
+            candidates.extend(chunk)
+        chosen = greedy_max_k_cover(candidates, k)
+        result = DCCSResult(
+            sets=[members for _, members in chosen],
+            labels=[label for label, _ in chosen],
+            algorithm="greedy",
+            params=(d, s, k),
+            stats=stats,
+            elapsed=0.0,
+        )
+        stats.extra["candidate_family_size"] = len(candidates)
+        return result
+    topk = plan.topk
+    if plan.root_only:
+        # The root is the only candidate; nothing was sharded.
+        stats.candidates_generated += 1
+        if topk.try_update(plan.root_core, label=tuple(graph.layers())):
+            stats.updates_accepted += 1
+    else:
+        _merge_shards(results, stats, topk)
+    return result_from_topk(topk, query.method, (d, s, k), stats, 0.0)
+
+
+def execute_query(graph, query, pool, stats=None, artifacts=None):
+    """Run one :class:`~repro.parallel.plan.Query` through ``pool``.
+
+    ``artifacts`` is an optional per-graph cache
+    (:class:`repro.engine.cache.ArtifactCache`); with or without it the
+    result — counters included — is bitwise identical, the cache only
+    swaps recomputation for replay.
+    """
+    if stats is None:
+        stats = SearchStats()
+    with Timer() as timer:
+        plan = plan_query(graph, query, workers=pool.workers, stats=stats,
+                          artifacts=artifacts)
+        results = pool.map_query(query, plan.tasks, plan) if plan.tasks \
+            else []
+        result = _finish(graph, query, plan, results, stats)
+    result.elapsed = timer.elapsed
+    return result
+
+
+def execute_query_batch(graph, queries, pool, artifacts=None):
+    """Pipeline a batch of queries through one warm pool.
+
+    Every query is planned and its shard tasks submitted *before* any
+    results are collected, so workers chew query ``i``'s shards while
+    the orchestrator preprocesses query ``i+1`` — and merging happens in
+    submission order, keeping each result bitwise identical to its
+    :func:`execute_query` equivalent.  Per-result ``elapsed`` spans that
+    query's plan phase plus its collect-and-merge phase; the windows of
+    different queries overlap, which is the point of a batch.
+    """
+    staged = []
+    for query in queries:
+        stats = SearchStats()
+        with Timer() as plan_timer:
+            plan = plan_query(graph, query, workers=pool.workers,
+                              stats=stats, artifacts=artifacts)
+            handle = pool.submit_query(query, plan.tasks, plan) \
+                if plan.tasks else None
+        staged.append((query, plan, handle, stats, plan_timer.elapsed))
+    out = []
+    for query, plan, handle, stats, planned in staged:
+        with Timer() as merge_timer:
+            results = pool.collect(handle) if handle is not None else []
+            result = _finish(graph, query, plan, results, stats)
+        result.elapsed = planned + merge_timer.elapsed
+        out.append(result)
+    return out
+
+
 def parallel_gd_dccs(graph, d, s, k, jobs=1, use_vertex_deletion=True,
                      stats=None):
     """GD-DCCS with the candidate family computed across ``jobs`` workers.
@@ -98,38 +149,10 @@ def parallel_gd_dccs(graph, d, s, k, jobs=1, use_vertex_deletion=True,
     Output and aggregated counters are bitwise identical to the
     sequential :func:`~repro.core.greedy.gd_dccs` for every ``jobs``.
     """
-    validate_search_params(graph, d, s, k)
-    if stats is None:
-        stats = SearchStats()
-    with Timer() as timer:
-        prep = vertex_deletion(
-            graph, d, s, enabled=use_vertex_deletion, stats=stats
-        )
-        subsets = list(combinations(range(graph.num_layers), s))
-        context = _context("greedy", d, s, k, prep.cores, prep.alive,
-                           None, [], {})
-        chunks = _chunked(
-            subsets, CHUNKS_PER_WORKER * effective_jobs(jobs)
-        )
-        tasks = [
-            (index, "greedy", chunk) for index, chunk in enumerate(chunks)
-        ]
-        results = map_shards(graph, context, tasks, jobs)
-        candidates = []
-        for _, chunk_candidates, shard_stats in results:
-            stats.merge(shard_stats)
-            candidates.extend(chunk_candidates)
-        chosen = greedy_max_k_cover(candidates, k)
-    result = DCCSResult(
-        sets=[members for _, members in chosen],
-        labels=[label for label, _ in chosen],
-        algorithm="greedy",
-        params=(d, s, k),
-        stats=stats,
-        elapsed=timer.elapsed,
-    )
-    stats.extra["candidate_family_size"] = len(candidates)
-    return result
+    query = make_query("greedy", d, s, k,
+                       use_vertex_deletion=use_vertex_deletion)
+    with WorkerPool(graph, jobs) as pool:
+        return execute_query(graph, query, pool, stats=stats)
 
 
 def parallel_bu_dccs(graph, d, s, k, jobs=1,
@@ -145,40 +168,16 @@ def parallel_bu_dccs(graph, d, s, k, jobs=1,
     first-position subtree that can still reach depth ``s``), never on
     ``jobs``, so results are identical for every worker count.
     """
-    validate_search_params(graph, d, s, k)
-    if stats is None:
-        stats = SearchStats()
-    with Timer() as timer:
-        prep = vertex_deletion(
-            graph, d, s, enabled=use_vertex_deletion, stats=stats
-        )
-        topk = DiversifiedTopK(k)
-        if use_init_topk:
-            init_topk(
-                graph, d, s, k, prep.cores,
-                topk=topk, within=prep.alive, stats=stats,
-            )
-        order = order_layers(prep.cores, descending=True,
-                             enabled=use_layer_sorting)
-        context = _context(
-            "bottom-up", d, s, k, prep.cores, prep.alive, order,
-            _seeded(topk),
-            {
-                "use_order_pruning": use_order_pruning,
-                "use_layer_pruning": use_layer_pruning,
-            },
-        )
-        # A subtree rooted at position p only reaches depth s when at
-        # least s positions remain at or after p.
-        positions = range(len(order) - s + 1)
-        tasks = [
-            (index, "bottom-up", position)
-            for index, position in enumerate(positions)
-        ]
-        results = map_shards(graph, context, tasks, jobs)
-        _merge_shards(results, stats, topk)
-    return result_from_topk(topk, "bottom-up", (d, s, k), stats,
-                            timer.elapsed)
+    query = make_query(
+        "bottom-up", d, s, k,
+        use_vertex_deletion=use_vertex_deletion,
+        use_layer_sorting=use_layer_sorting,
+        use_init_topk=use_init_topk,
+        use_order_pruning=use_order_pruning,
+        use_layer_pruning=use_layer_pruning,
+    )
+    with WorkerPool(graph, jobs) as pool:
+        return execute_query(graph, query, pool, stats=stats)
 
 
 def parallel_td_dccs(graph, d, s, k, jobs=1,
@@ -192,60 +191,24 @@ def parallel_td_dccs(graph, d, s, k, jobs=1,
                      stats=None):
     """TD-DCCS sharded by which layer the root sheds first.
 
-    The orchestrator computes the root d-CC and (when enabled) one
-    canonical hierarchy index for counter accounting; pooled workers
-    rebuild the index locally without touching the counters, so the
-    aggregated stats stay independent of the worker count.  Each shard
-    draws from its own deterministic RNG stream (see
-    :func:`~repro.parallel.worker.shard_seed`).
+    The orchestrator plans one canonical preprocessing/index build for
+    counter accounting; pooled workers re-derive theirs locally without
+    touching the counters, so the aggregated stats stay independent of
+    the worker count.  Each shard draws from its own deterministic RNG
+    stream (see :func:`~repro.parallel.worker.shard_seed`).
     """
-    validate_search_params(graph, d, s, k)
-    if stats is None:
-        stats = SearchStats()
-    with Timer() as timer:
-        prep = vertex_deletion(
-            graph, d, s, enabled=use_vertex_deletion, stats=stats
-        )
-        topk = DiversifiedTopK(k)
-        if use_init_topk:
-            init_topk(
-                graph, d, s, k, prep.cores,
-                topk=topk, within=prep.alive, stats=stats,
-            )
-        order = order_layers(prep.cores, descending=False,
-                             enabled=use_layer_sorting)
-        index = None
-        if use_index:
-            index = CoreHierarchyIndex(graph, d, within=prep.alive,
-                                       stats=stats)
-        root_core = coherent_core(
-            graph, graph.layers(), d, within=prep.alive, stats=stats
-        )
-        if s == graph.num_layers:
-            # The root is the only candidate; nothing to shard.
-            stats.candidates_generated += 1
-            if topk.try_update(root_core, label=tuple(graph.layers())):
-                stats.updates_accepted += 1
-        else:
-            context = _context(
-                "top-down", d, s, k, prep.cores, prep.alive, order,
-                _seeded(topk),
-                {
-                    "use_order_pruning": use_order_pruning,
-                    "use_potential_pruning": use_potential_pruning,
-                    "use_index": use_index,
-                },
-                root_core=frozenset(root_core),
-                seed=seed,
-            )
-            tasks = [
-                (index_, "top-down", drop)
-                for index_, drop in enumerate(range(graph.num_layers))
-            ]
-            results = map_shards(graph, context, tasks, jobs, index=index)
-            _merge_shards(results, stats, topk)
-    return result_from_topk(topk, "top-down", (d, s, k), stats,
-                            timer.elapsed)
+    query = make_query(
+        "top-down", d, s, k,
+        use_vertex_deletion=use_vertex_deletion,
+        use_layer_sorting=use_layer_sorting,
+        use_init_topk=use_init_topk,
+        use_order_pruning=use_order_pruning,
+        use_potential_pruning=use_potential_pruning,
+        use_index=use_index,
+        seed=seed,
+    )
+    with WorkerPool(graph, jobs) as pool:
+        return execute_query(graph, query, pool, stats=stats)
 
 
 _PARALLEL_METHODS = {

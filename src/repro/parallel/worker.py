@@ -7,22 +7,28 @@ search *context* (parameters, preprocessed cores, layer order, the seeded
 initial result sets, ablation flags).  The same class backs both
 execution modes:
 
-* **inline** (``jobs=1`` or a single shard) — the orchestrator
-  instantiates a runner directly on its own graph object;
-* **pooled** — :func:`init_worker` runs once per worker process, rebuilds
-  the graph from its serialized payload (see
-  :mod:`repro.parallel.serialize`) and keeps a process-global runner;
-  :func:`run_shard` then serves every task the worker pulls off the
-  queue.
+* **inline** (one effective worker, or a single shard) — the pool's
+  orchestrator-side :class:`QueryRunnerCache` instantiates runners
+  directly on its own graph object;
+* **pooled** — :func:`init_persistent_worker` runs once per worker
+  process, rebuilds the graph from its serialized payload (see
+  :mod:`repro.parallel.serialize`) and keeps it for the life of the
+  pool; :func:`run_query_shard` then serves ``(query, task)`` pairs,
+  deriving each query's search context locally
+  (:func:`repro.parallel.plan.plan_query`) and caching it so a repeated
+  query costs the worker nothing but the shard itself.
 
 Determinism is the design invariant: a shard's result depends only on
-``(graph, context, shard)`` — never on which worker ran it, how many
-workers exist, or in what order shards complete.  Worker-side caches
-(signature groups, the top-down hierarchy index) are rebuilt with
-``stats=None`` so the merged counters cannot drift with the worker
-count; the orchestrator charges each of those builds to the run's stats
+``(graph, query, shard)`` — never on which worker ran it, how many
+workers exist, in what order shards complete, or whether the worker's
+context came fresh or from its cache.  Worker-side derivations (the
+whole query context, signature groups, the top-down hierarchy index) run
+with ``stats=None`` so the merged counters cannot drift with the worker
+count; the orchestrator charges each derivation to the run's stats
 exactly once on its own side.
 """
+
+from collections import OrderedDict
 
 from repro.core.bottomup import _BottomUpSearch
 from repro.core.coverage import DiversifiedTopK
@@ -30,8 +36,15 @@ from repro.core.dcc import candidate_for_subset, layer_signature_groups
 from repro.core.index import CoreHierarchyIndex
 from repro.core.stats import SearchStats
 from repro.core.topdown import _TopDownSearch
+from repro.parallel.plan import plan_query
 from repro.parallel.serialize import payload_graph
 from repro.utils.rng import make_rng
+
+# Per-process cap on cached query contexts.  Eight comfortably covers a
+# sweep alternating a few methods over one parameter; beyond that the
+# oldest context is evicted (a repeat then re-derives it, results
+# unchanged).
+MAX_CACHED_QUERIES = 8
 
 
 def shard_seed(seed, shard_index):
@@ -75,18 +88,18 @@ class ShardRunner:
     Parameters
     ----------
     graph:
-        Either backend; the parallel orchestrator hands workers a graph
-        rebuilt from the serialized payload.
+        Either backend; pooled workers hand runners a graph rebuilt from
+        the serialized payload.
     context:
         The immutable per-search dict built by
-        :mod:`repro.parallel.search` (keys: ``method``, ``d``, ``s``,
-        ``k``, ``cores``, ``alive``, ``order``, ``init_sets``, ``flags``,
-        plus ``root_core``/``seed`` for the top-down method).
+        :func:`repro.parallel.plan.plan_query` (keys: ``method``, ``d``,
+        ``s``, ``k``, ``cores``, ``alive``, ``order``, ``init_sets``,
+        ``flags``, plus ``root_core``/``seed`` for the top-down method).
     index:
         An optional pre-built :class:`CoreHierarchyIndex` for top-down
         shards.  The inline path passes the orchestrator's; pooled
-        workers leave it unset and build their own lazily (uncharged —
-        see the module docstring).
+        workers pass their locally derived one (built silently — see the
+        module docstring).
     """
 
     def __init__(self, graph, context, index=None):
@@ -222,21 +235,79 @@ class ShardRunner:
         return self._index
 
 
+class QueryRunnerCache:
+    """An LRU of per-query :class:`ShardRunner`\\ s over one graph.
+
+    Two owners: each pooled worker process keeps one for the graph it
+    holds, and :class:`~repro.parallel.executor.WorkerPool` keeps one on
+    the orchestrator side for the inline execution path.  Either way the
+    cache is what makes a *repeated* query cheap — the derived context,
+    signature groups and hierarchy index survive between searches.
+    """
+
+    def __init__(self, graph):
+        self.graph = graph
+        self._runners = OrderedDict()
+
+    def __len__(self):
+        return len(self._runners)
+
+    def runner(self, query, plan=None):
+        """The cached runner for ``query``, deriving its context on miss.
+
+        ``plan`` short-circuits the derivation when the caller already
+        planned the query (the orchestrator's inline path); workers leave
+        it unset and re-derive locally, uncharged (``stats=None``).
+        """
+        try:
+            runner = self._runners[query]
+        except KeyError:
+            pass
+        else:
+            self._runners.move_to_end(query)
+            return runner
+        if plan is None:
+            plan = plan_query(self.graph, query)
+        runner = ShardRunner(self.graph, plan.context, index=plan.index)
+        self._runners[query] = runner
+        while len(self._runners) > MAX_CACHED_QUERIES:
+            self._runners.popitem(last=False)
+        return runner
+
+
 # ----------------------------------------------------------------------
 # process-pool plumbing
 # ----------------------------------------------------------------------
 
-_RUNNER = None
+_RUNNERS = None
 
 
-def init_worker(payload, context):
-    """Pool initializer: deserialize the graph once per worker process."""
-    global _RUNNER
-    _RUNNER = ShardRunner(payload_graph(payload), context)
+def init_persistent_worker(payload):
+    """Pool initializer: deserialize the graph once per worker process.
+
+    Everything else a query needs is derived (and cached) lazily per
+    query signature by :func:`run_query_shard`; the peel kernels
+    additionally get a process-local scratch arena, the worker-side half
+    of the engine's buffer reuse.
+    """
+    global _RUNNERS
+    from repro.graph.frozen import ScratchArena, activate_scratch
+
+    _RUNNERS = QueryRunnerCache(payload_graph(payload))
+    activate_scratch(ScratchArena())
 
 
-def run_shard(task):
-    """Pool task entry point; requires :func:`init_worker` to have run."""
-    if _RUNNER is None:
+def ping_worker():
+    """No-op task used by ``WorkerPool.warm()`` to force process spawn."""
+    return _RUNNERS is not None
+
+
+def run_query_shard(item):
+    """Pool task entry point: ``(query, task)`` → shard result.
+
+    Requires :func:`init_persistent_worker` to have run.
+    """
+    if _RUNNERS is None:
         raise RuntimeError("worker process was not initialised")
-    return _RUNNER.run(task)
+    query, task = item
+    return _RUNNERS.runner(query).run(task)

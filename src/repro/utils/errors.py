@@ -52,3 +52,13 @@ class FrozenGraphError(GraphError, TypeError):
             "{}() is not supported on a frozen graph; call thaw() to get a "
             "mutable dict-backend copy".format(self.operation)
         )
+
+
+class EngineClosedError(GraphError, RuntimeError):
+    """Raised when a search is attempted on a closed :class:`DCCEngine`."""
+
+    def __str__(self):
+        return (
+            "this DCCEngine has been closed; construct a new engine to "
+            "search again"
+        )

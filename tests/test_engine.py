@@ -1,0 +1,447 @@
+"""Determinism, caching and lifecycle suite for :mod:`repro.engine`.
+
+The contract under test, in order of importance:
+
+1. **session equivalence** — ``engine.search``, ``engine.search_many``
+   and one-shot ``search_dccs(..., jobs=N)`` return bitwise identical
+   sets, labels, cover sizes *and aggregated stats counters*, for every
+   method, both backends, and warm-vs-cold pools/caches (the artifact
+   cache replays captured stats deltas instead of skipping charges);
+2. **invalidation** — mutating the underlying ``MultiLayerGraph`` after
+   engine construction rebinds the session (frozen graph, cache, pool);
+   a stale result is never returned;
+3. **scratch safety** — the frozen peel kernels return identical results
+   with and without an active :class:`ScratchArena`, including across
+   graphs of different sizes sharing one arena.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cli import main
+from repro.core import search_dccs
+from repro.engine import ArtifactCache, DCCEngine
+from repro.experiments.runner import measure_point, sweep
+from repro.graph import MultiLayerGraph, paper_figure1_graph
+from repro.graph.frozen import (
+    ScratchArena,
+    active_scratch,
+    frozen_coherent_core,
+    frozen_layer_core,
+)
+from repro.utils.errors import EngineClosedError, ParameterError
+from tests.strategies import multilayer_graphs, search_parameters
+
+METHODS = ("greedy", "bottom-up", "top-down")
+
+
+def assert_identical(first, second, context=""):
+    assert first.sets == second.sets, context
+    assert first.labels == second.labels, context
+    assert first.cover_size == second.cover_size, context
+    assert first.stats.as_dict() == second.stats.as_dict(), context
+
+
+# ----------------------------------------------------------------------
+# 1. session equivalence with one-shot search_dccs
+# ----------------------------------------------------------------------
+
+
+class TestSessionEquivalence:
+    @given(st.data())
+    @settings(max_examples=3, deadline=None)
+    def test_engine_matches_one_shot_all_methods_both_backends(self, data):
+        graph = data.draw(multilayer_graphs(max_vertices=8, max_layers=3))
+        d, s, k = data.draw(search_parameters(graph))
+        for backend in ("dict", "frozen"):
+            with DCCEngine(graph, backend=backend, jobs=2) as engine:
+                for method in METHODS:
+                    one_shot = search_dccs(graph, d, s, k, method=method,
+                                           backend=backend, jobs=2, seed=5)
+                    cold = engine.search(d, s, k, method=method, seed=5)
+                    warm = engine.search(d, s, k, method=method, seed=5)
+                    batch, = engine.search_many([
+                        {"d": d, "s": s, "k": k, "method": method,
+                         "seed": 5},
+                    ])
+                    for label, result in (("cold", cold), ("warm", warm),
+                                          ("batch", batch)):
+                        assert_identical(
+                            one_shot, result,
+                            (backend, method, label, d, s, k),
+                        )
+
+    def test_search_many_matches_individual_searches_in_order(self):
+        graph = paper_figure1_graph()
+        specs = [
+            {"d": 3, "s": 2, "k": 2},
+            {"d": 2, "s": 3, "k": 3, "method": "bottom-up"},
+            {"d": 2, "s": 2, "k": 2, "method": "top-down", "seed": 7},
+            {"d": 3, "s": 2, "k": 2},  # repeat: warm cache, same answer
+        ]
+        with DCCEngine(graph, jobs=2) as engine:
+            batched = engine.search_many(specs)
+            singles = [engine.search(**spec) for spec in specs]
+        assert len(batched) == len(specs)
+        for spec, one, two in zip(specs, batched, singles):
+            assert_identical(one, two, spec)
+
+    def test_search_many_empty_batch(self):
+        with DCCEngine(paper_figure1_graph(), jobs=1) as engine:
+            assert engine.search_many([]) == []
+
+    def test_prefrozen_graph_keeps_id_vocabulary(self):
+        graph = paper_figure1_graph()
+        frozen = graph.freeze()
+        with DCCEngine(frozen, jobs=1) as engine:
+            raw = engine.search(3, 2, 2, method="greedy")
+        translated = search_dccs(graph, 3, 2, 2, method="greedy",
+                                 backend="frozen", jobs=1)
+        assert [
+            frozen.labels_for(members) for members in raw.sets
+        ] == translated.sets
+
+    def test_stats_option_accumulates_like_one_shot(self):
+        from repro.core.stats import SearchStats
+
+        graph = paper_figure1_graph()
+        with DCCEngine(graph, jobs=1) as engine:
+            mine = SearchStats()
+            result = engine.search(3, 2, 2, method="greedy", stats=mine)
+            assert result.stats is mine
+            again = engine.search(3, 2, 2, method="greedy")
+        assert mine.as_dict() == again.stats.as_dict()
+
+    def test_non_topdown_methods_ignore_seed(self):
+        graph = paper_figure1_graph()
+        with DCCEngine(graph, jobs=1) as engine:
+            seeded = engine.search(3, 2, 2, method="greedy", seed=99)
+            plain = engine.search(3, 2, 2, method="greedy")
+        assert_identical(seeded, plain)
+
+    def test_rejects_unknown_method_and_option(self):
+        with DCCEngine(paper_figure1_graph(), jobs=1) as engine:
+            with pytest.raises(ParameterError):
+                engine.search(1, 1, 1, method="sideways")
+            with pytest.raises(ParameterError):
+                engine.search(1, 1, 1, method="greedy", use_warp_drive=True)
+
+    def test_search_many_validates_before_submitting(self):
+        # One bad spec must fail the batch up front — before any query
+        # is planned or submitted — not mid-pipeline with completed
+        # work in flight.
+        graph = paper_figure1_graph()
+        with DCCEngine(graph, jobs=1) as engine:
+            with pytest.raises(ParameterError):
+                engine.search_many([
+                    {"d": 3, "s": 2, "k": 2},
+                    {"d": 3, "s": 99, "k": 2},
+                ])
+            assert engine.info()["pool_queries_served"] == 0
+            with pytest.raises(ParameterError):
+                engine.search_many([{"d": 3, "k": 2}])
+
+
+# ----------------------------------------------------------------------
+# 2. artifact cache behaviour
+# ----------------------------------------------------------------------
+
+
+class TestArtifactCache:
+    def test_cache_hits_accumulate_across_queries(self):
+        graph = paper_figure1_graph()
+        with DCCEngine(graph, jobs=1) as engine:
+            engine.search(3, 2, 2, method="bottom-up")
+            first = engine.info()
+            engine.search(3, 2, 2, method="bottom-up")
+            second = engine.info()
+        assert first["cache_misses"] > 0
+        assert second["cache_hits"] > first["cache_hits"]
+        assert second["cache_misses"] == first["cache_misses"]
+
+    def test_cache_disabled_engine_still_identical(self):
+        graph = paper_figure1_graph()
+        with DCCEngine(graph, jobs=1, cache_artifacts=False) as engine:
+            uncached = engine.search(3, 2, 2, method="top-down", seed=5)
+            assert engine.info()["cache_enabled"] is False
+        with DCCEngine(graph, jobs=1) as engine:
+            cached = engine.search(3, 2, 2, method="top-down", seed=5)
+        assert_identical(uncached, cached)
+
+    def test_stats_delta_replay(self):
+        # The unit-level version of warm == cold: a second lookup hands
+        # back the same preprocess artifact plus the same counters.
+        graph = paper_figure1_graph().freeze()
+        cache = ArtifactCache(graph)
+        prep_a, delta_a = cache.preprocess(3, 2, True)
+        prep_b, delta_b = cache.preprocess(3, 2, True)
+        assert prep_a is prep_b
+        assert delta_a is delta_b
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_cache_keys_distinguish_parameters(self):
+        graph = paper_figure1_graph().freeze()
+        cache = ArtifactCache(graph)
+        cache.preprocess(3, 2, True)
+        cache.preprocess(2, 2, True)
+        cache.preprocess(3, 2, False)
+        assert cache.misses == 3 and cache.hits == 0
+
+
+# ----------------------------------------------------------------------
+# 3. invalidation on source-graph mutation
+# ----------------------------------------------------------------------
+
+
+class TestInvalidation:
+    def _ring(self, n=12):
+        graph = MultiLayerGraph(2, vertices=range(n))
+        for i in range(n):
+            graph.add_edge(0, i, (i + 1) % n)
+            graph.add_edge(1, i, (i + 1) % n)
+        return graph
+
+    @pytest.mark.parametrize("mutate", [
+        lambda g: g.add_edge(0, 0, 2),
+        lambda g: g.remove_edge(1, 0, 1),
+        lambda g: g.add_vertex("fresh"),
+        lambda g: g.remove_vertex(3),
+    ])
+    def test_every_mutation_kind_invalidates(self, mutate):
+        graph = self._ring()
+        with DCCEngine(graph, jobs=1) as engine:
+            engine.search(2, 1, 2)
+            mutate(graph)
+            after = engine.search(2, 1, 2)
+            assert engine.invalidations == 1
+        fresh = search_dccs(graph, 2, 1, 2, jobs=1)
+        assert_identical(after, fresh)
+
+    def test_mutation_clears_cached_artifacts(self):
+        graph = self._ring()
+        with DCCEngine(graph, jobs=1) as engine:
+            engine.search(2, 1, 2, method="bottom-up")
+            before = engine.info()["cache_entries"]
+            assert before > 0
+            graph.add_edge(0, 0, 5)
+            engine.search(2, 1, 2, method="bottom-up")
+            status = engine.info()
+        # The rebind threw the old cache away: only the post-mutation
+        # query's artifacts remain, all of them fresh misses.
+        assert status["cache_hits"] == 0
+        assert status["mutation_version"] == graph.mutation_version
+
+    def test_results_never_stale_after_topology_change(self):
+        # The mutation makes vertex 0's neighbourhood 3-dense on layer 0;
+        # a stale engine would keep reporting the old, smaller answer.
+        graph = self._ring()
+        with DCCEngine(graph, jobs=1) as engine:
+            sparse = engine.search(3, 1, 1)
+            assert sparse.sets == []
+            for u in range(4):
+                for v in range(u + 1, 4):
+                    if not graph.has_edge(0, u, v):
+                        graph.add_edge(0, u, v)
+            dense = engine.search(3, 1, 1)
+        assert dense.sets != []
+
+    def test_frozen_source_never_invalidates(self):
+        frozen = self._ring().freeze()
+        with DCCEngine(frozen, jobs=1) as engine:
+            engine.search(2, 1, 2)
+            engine.search(2, 2, 2)
+            assert engine.invalidations == 0
+
+    def test_mutation_version_counter(self):
+        graph = self._ring()
+        start = graph.mutation_version
+        graph.add_edge(0, 0, 4)
+        graph.add_edge(0, 0, 4)  # duplicate: no-op, no tick
+        assert graph.mutation_version == start + 1
+        graph.remove_edge(0, 0, 4)
+        assert graph.mutation_version == start + 2
+        assert graph.freeze().mutation_version == 0
+
+
+# ----------------------------------------------------------------------
+# 4. lifecycle: warm, close, pool fallback
+# ----------------------------------------------------------------------
+
+
+class TestLifecycle:
+    def test_pool_spawns_lazily_and_warm_forces_it(self):
+        graph = paper_figure1_graph()
+        with DCCEngine(graph, jobs=2) as engine:
+            assert engine.info()["pool_spawned"] is False
+            assert engine.warm() is True
+            assert engine.info()["pool_spawned"] is True
+
+    def test_single_worker_engine_never_spawns(self):
+        graph = paper_figure1_graph()
+        with DCCEngine(graph, jobs=1) as engine:
+            assert engine.warm() is False
+            engine.search(3, 2, 2)
+            assert engine.info()["pool_spawned"] is False
+
+    def test_closed_engine_raises(self):
+        engine = DCCEngine(paper_figure1_graph(), jobs=1)
+        engine.close()
+        with pytest.raises(EngineClosedError):
+            engine.search(1, 1, 1)
+        with pytest.raises(EngineClosedError):
+            engine.search_many([{"d": 1, "s": 1, "k": 1}])
+
+    def test_spawn_failure_degrades_to_inline(self, monkeypatch):
+        from repro.parallel import executor as executor_module
+
+        class BrokenPool:
+            def __init__(self, *args, **kwargs):
+                pass
+
+            def submit(self, *args, **kwargs):
+                raise OSError("fork denied")
+
+        monkeypatch.setattr(
+            executor_module, "ProcessPoolExecutor", BrokenPool
+        )
+        graph = paper_figure1_graph()
+        with DCCEngine(graph, jobs=4) as engine:
+            broken = engine.search(3, 2, 2, method="bottom-up", seed=5)
+            assert engine.info()["pool_inline_fallback"] is True
+        healthy = search_dccs(graph, 3, 2, 2, method="bottom-up", seed=5,
+                              jobs=1)
+        assert_identical(broken, healthy)
+
+
+# ----------------------------------------------------------------------
+# 5. scratch arena safety
+# ----------------------------------------------------------------------
+
+
+class TestScratchArena:
+    @given(st.data())
+    @settings(max_examples=10, deadline=None)
+    def test_kernels_identical_with_and_without_arena(self, data):
+        graph = data.draw(multilayer_graphs(max_vertices=10, max_layers=3))
+        d, s, _ = data.draw(search_parameters(graph))
+        frozen = graph.freeze()
+        layers = tuple(range(s))
+        subset = set(range(0, frozen.num_vertices, 2))
+        arena = ScratchArena()
+        with arena:
+            core_full = frozen_coherent_core(frozen, layers, d)
+            core_sub = frozen_coherent_core(frozen, layers, d,
+                                            within=subset)
+            layer0 = frozen_layer_core(frozen, 0, d)
+        assert core_full == frozen_coherent_core(frozen, layers, d)
+        assert core_sub == frozen_coherent_core(frozen, layers, d,
+                                                within=subset)
+        assert layer0 == frozen_layer_core(frozen, 0, d)
+
+    def test_arena_survives_graph_size_changes(self):
+        arena = ScratchArena()
+        small = paper_figure1_graph().freeze()
+        big = MultiLayerGraph(1, vertices=range(40))
+        for i in range(39):
+            big.add_edge(0, i, i + 1)
+        big_frozen = big.freeze()
+        with arena:
+            first = frozen_layer_core(small, 0, 2)
+            second = frozen_layer_core(big_frozen, 0, 1)
+            third = frozen_layer_core(small, 0, 2)
+        assert first == third == frozen_layer_core(small, 0, 2)
+        assert second == frozen_layer_core(big_frozen, 0, 1)
+
+    def test_activation_nests_and_restores(self):
+        outer, inner = ScratchArena(), ScratchArena()
+        assert active_scratch() is None
+        with outer:
+            assert active_scratch() is outer
+            with inner:
+                assert active_scratch() is inner
+            assert active_scratch() is outer
+        assert active_scratch() is None
+
+    def test_arena_actually_reuses_buffers(self):
+        frozen = paper_figure1_graph().freeze()
+        arena = ScratchArena()
+        with arena:
+            frozen_coherent_core(frozen, (0, 1), 3)
+            frozen_coherent_core(frozen, (0, 1), 3)
+        assert arena.reuses > 0
+
+
+# ----------------------------------------------------------------------
+# 6. harness and CLI plumbing
+# ----------------------------------------------------------------------
+
+
+class TestHarnessPlumbing:
+    def test_measure_point_with_engine_matches_one_shot_rows(self):
+        graph = MultiLayerGraph(2, vertices=range(30))
+        for i in range(29):
+            graph.add_edge(0, i, i + 1)
+            graph.add_edge(1, i, i + 1)
+        with DCCEngine(graph, jobs=2) as engine:
+            engine_rows = measure_point(graph, 1, 1, 2,
+                                        methods=["greedy"], engine=engine)
+        one_shot_rows = measure_point(graph, 1, 1, 2, methods=["greedy"],
+                                      jobs=2)
+        for warm, cold in zip(engine_rows, one_shot_rows):
+            assert warm["cover"] == cold["cover"]
+            assert warm["dcc_calls"] == cold["dcc_calls"]
+            assert warm["candidates"] == cold["candidates"]
+
+    def test_measure_point_rejects_foreign_engine(self):
+        graph = paper_figure1_graph()
+        other = paper_figure1_graph()
+        with DCCEngine(other, jobs=1) as engine:
+            with pytest.raises(ParameterError):
+                measure_point(graph, 1, 1, 1, methods=["greedy"],
+                              engine=engine)
+
+    def test_sweep_with_jobs_uses_one_session(self):
+        graph = paper_figure1_graph()
+        parallel_rows = sweep(graph, "k", (1, 2), {"d": 3, "s": 2, "k": 1},
+                              methods=("greedy",), jobs=2)
+        sequential_rows = sweep(graph, "k", (1, 2),
+                                {"d": 3, "s": 2, "k": 1},
+                                methods=("greedy",))
+        for par, seq in zip(parallel_rows, sequential_rows):
+            assert par["cover"] == seq["cover"]
+            assert par["dcc_calls"] == seq["dcc_calls"]
+
+    def test_cli_batch(self, tmp_path, capsys):
+        queries = tmp_path / "queries.json"
+        queries.write_text(
+            '[{"d": 3, "s": 2, "k": 2},'
+            ' {"d": 2, "s": 2, "k": 2, "method": "greedy"}]'
+        )
+        assert main(["batch", "figure1", str(queries), "--jobs", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "batch: 2 queries" in out
+        assert "cover 13 vertices" in out
+
+    def test_cli_batch_rejects_empty_payload(self, tmp_path, capsys):
+        queries = tmp_path / "empty.json"
+        queries.write_text("[]")
+        assert main(["batch", "figure1", str(queries)]) == 2
+
+    @pytest.mark.parametrize("payload", [
+        '[[3, 2, 2]]',                       # entry is not an object
+        '[{"d": 3, "s": 2, "k": 2}, 7]',     # mixed garbage
+        '[{"d": 3, "s": 99, "k": 2}]',       # invalid parameters
+    ])
+    def test_cli_batch_rejects_malformed_queries(self, tmp_path, capsys,
+                                                 payload):
+        queries = tmp_path / "bad.json"
+        queries.write_text(payload)
+        assert main(["batch", "figure1", str(queries)]) == 2
+        assert capsys.readouterr().err != ""
+
+    def test_cli_info_reports_engine_status(self, capsys):
+        assert main(["info", "ppi", "--scale", "0.2"]) == 0
+        out = capsys.readouterr().out
+        assert "engine_workers" in out
+        assert "engine_cache_enabled: True" in out
