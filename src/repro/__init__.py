@@ -13,6 +13,9 @@ The package exposes:
 * :mod:`repro.engine` — the persistent search session
   (:class:`repro.DCCEngine`): one graph, a warm worker pool, per-graph
   artifact caching, and the ``search_many`` batch API;
+* :mod:`repro.host` — multi-graph hosting (:class:`repro.DCCHost`): a
+  registry of engine sessions with LRU admission control and a global
+  memory budget;
 * :mod:`repro.baselines` — the exact solver and the quasi-clique
   (MiMAG-style) comparison baseline;
 * :mod:`repro.metrics` — cover / similarity / recovery metrics;
@@ -44,6 +47,7 @@ __all__ = [
     "MultiLayerGraph",
     "search_dccs",
     "DCCEngine",
+    "DCCHost",
     "coherent_core",
     "gd_dccs",
     "bu_dccs",
@@ -53,13 +57,17 @@ __all__ = [
 
 
 def __getattr__(name):
-    # DCCEngine is exported lazily: the engine pulls in the parallel
-    # subsystem's multiprocessing plumbing, which `import repro` for a
-    # purely sequential script should not pay for.
+    # DCCEngine and DCCHost are exported lazily: both pull in the
+    # parallel subsystem's multiprocessing plumbing, which
+    # `import repro` for a purely sequential script should not pay for.
     if name == "DCCEngine":
         from repro.engine import DCCEngine
 
         return DCCEngine
+    if name == "DCCHost":
+        from repro.host import DCCHost
+
+        return DCCHost
     raise AttributeError(
         "module {!r} has no attribute {!r}".format(__name__, name)
     )

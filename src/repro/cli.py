@@ -11,6 +11,10 @@ Subcommands
     Run a JSON file of queries through one persistent
     :class:`~repro.engine.DCCEngine` (pool spawned once, artifacts
     shared across the batch).
+``host``
+    Run a JSON batch spec spanning *several* graphs through one
+    :class:`~repro.host.DCCHost` — named engine sessions admitted
+    lazily under a resident-engine cap and optional memory budget.
 ``datasets``
     Print the Fig. 12 stand-in/paper statistics table.
 ``figure``
@@ -96,6 +100,24 @@ def _cmd_info(args):
     print("engine_pool_spawned: {}".format(status["pool_spawned"]))
     print("engine_cache_enabled: {}".format(status["cache_enabled"]))
     print("engine_cache_entries: {}".format(status["cache_entries"]))
+    # The hosting layer a `repro host` run would place this graph in:
+    # admit one (cheap — the pool stays unspawned) and report the
+    # admission-control picture.
+    from repro.host import DCCHost
+
+    with DCCHost() as host:
+        host.attach("info", graph,
+                    backend="frozen" if graph.is_frozen else "dict")
+        host.engine("info")
+        host_status = host.info()
+    print("host_max_engines: {}".format(host_status["max_engines"]))
+    print("host_resident_engines: {}".format(
+        len(host_status["resident_engines"])
+    ))
+    print("host_memory_bytes: {}".format(host_status["memory_bytes"]))
+    print("host_cache_max_entries: {}".format(
+        host_status["cache_max_entries"]
+    ))
     return 0
 
 
@@ -174,6 +196,65 @@ def _cmd_batch(args):
             status["pool_spawned"], status["cache_entries"],
             status["cache_hits"],
             status["cache_hits"] + status["cache_misses"],
+        )
+    )
+    return 0
+
+
+def _cmd_host(args):
+    """Serve a multi-graph JSON batch spec from one DCCHost."""
+    from repro.host import DCCHost, parse_host_spec
+    from repro.utils.errors import GraphError
+    from repro.utils.timer import Timer
+
+    with open(args.spec) as handle:
+        payload = json.load(handle)
+    try:
+        graphs, queries, settings = parse_host_spec(payload)
+    except GraphError as error:
+        print("{}: {}".format(args.spec, error), file=sys.stderr)
+        return 2
+    # Command-line flags beat spec-file settings beat host defaults.
+    max_engines = args.max_engines if args.max_engines is not None \
+        else settings.get("max_engines")
+    budget = args.memory_budget if args.memory_budget is not None \
+        else settings.get("memory_budget_bytes")
+    host_options = {"jobs": args.jobs, "backend": args.backend}
+    if max_engines is not None:
+        host_options["max_engines"] = max_engines
+    if budget is not None:
+        host_options["memory_budget_bytes"] = budget
+    try:
+        with Timer() as total:
+            with DCCHost(**host_options) as host:
+                for name, source in graphs.items():
+                    host.attach(
+                        name, _load_graph(source, args.scale, args.seed)
+                    )
+                results = host.search_many(queries)
+                status = host.info()
+    except GraphError as error:
+        print("host run failed: {}".format(error), file=sys.stderr)
+        return 2
+    for number, (spec, result) in enumerate(zip(queries, results), 1):
+        print(
+            "[{}] {}: {} d={} s={} k={} -> {} d-CCs, cover {} vertices, "
+            "{:.3f}s".format(
+                number, spec["graph"], result.algorithm, spec["d"],
+                spec["s"], spec["k"], len(result.sets), result.cover_size,
+                result.elapsed,
+            )
+        )
+    print(
+        "host: {} queries over {} graphs in {:.3f}s | engines: {} "
+        "resident / {} max, {} admitted, {} evicted | memory: {} bytes"
+        "{}".format(
+            len(results), len(graphs), total.elapsed,
+            len(status["resident_engines"]), status["max_engines"],
+            status["admissions"], status["evictions"],
+            status["memory_bytes"],
+            " (budget {})".format(status["memory_budget_bytes"])
+            if status["memory_budget_bytes"] is not None else "",
         )
     )
     return 0
@@ -446,6 +527,31 @@ def build_parser():
                        help="persistent pool size: 0 = one worker per "
                             "CPU (default), N = exactly N")
     batch.set_defaults(fn=_cmd_batch)
+
+    host = sub.add_parser(
+        "host", parents=[common],
+        help="run a multi-graph JSON batch spec through one DCCHost",
+    )
+    host.add_argument(
+        "spec",
+        help="JSON file: {\"graphs\": {name: source, ...}, \"queries\": "
+             "[{graph, d, s, k[, method, options...]}, ...]} with "
+             "optional max_engines / memory_budget_bytes",
+    )
+    host.add_argument("--backend", default="auto",
+                      choices=("auto", "dict", "frozen"),
+                      help="engine backend default for every graph")
+    host.add_argument("--jobs", type=int, default=0,
+                      help="per-engine pool size: 0 = one worker per "
+                           "CPU (default), N = exactly N")
+    host.add_argument("--max-engines", type=int, default=None,
+                      help="resident engine cap (overrides the spec "
+                           "file; LRU sessions beyond it are evicted, "
+                           "their pools closed)")
+    host.add_argument("--memory-budget", type=int, default=None,
+                      help="global resident-memory budget in bytes "
+                           "(overrides the spec file)")
+    host.set_defaults(fn=_cmd_host)
 
     datasets = sub.add_parser("datasets", parents=[common],
                               help="print the Fig. 12/13 tables")

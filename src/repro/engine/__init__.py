@@ -8,9 +8,12 @@ hierarchy index, with stats-delta replay so warm results stay bitwise
 identical to cold ones), and the peel kernels' scratch buffers.
 
 This is the substrate the serving roadmap builds on: batching lives here
-today (``engine.search_many``), async and sharded multi-graph hosting
-slot in behind the same session boundary.  See ``docs/architecture.md``
-for the lifecycle and invalidation contract.
+(``engine.search_many``), and multi-graph hosting sits directly on the
+session boundary — :class:`repro.host.DCCHost` owns a registry of these
+engines under admission control, passing the cache bounds
+(``cache_max_entries`` / ``cache_ttl``) a standalone engine leaves off.
+See ``docs/architecture.md`` for the lifecycle and invalidation
+contract.
 """
 
 from repro.engine.cache import ArtifactCache

@@ -23,27 +23,75 @@ sharing across queries cannot alias mutable state.  Invalidation is the
 owning engine's job: the cache itself trusts its graph never to change,
 which :class:`repro.engine.DCCEngine` enforces through the graph's
 ``mutation_version``.
+
+**Bounds.** By default the cache is unbounded — correct for one graph's
+parameter space, where an engine serves a handful of ``(d, s, k)``
+combinations.  A multi-graph host keeps many caches alive at once, so
+the constructor accepts ``max_entries`` (LRU discard beyond the cap) and
+``ttl`` (entries older than ``ttl`` seconds are rebuilt on next lookup).
+Eviction never affects results: a re-looked-up artifact is rebuilt by
+the same pure function and charges the same stats delta, so warm results
+stay bitwise identical to cold ones across any eviction schedule
+(property-tested in ``tests/test_engine.py``).
 """
+
+import time
+from collections import OrderedDict
 
 from repro.core.dcc import coherent_core
 from repro.core.index import CoreHierarchyIndex
 from repro.core.initk import init_topk
 from repro.core.preprocess import vertex_deletion
 from repro.core.stats import SearchStats
+from repro.utils.errors import ParameterError
 
 
 class ArtifactCache:
-    """Memoised per-graph search artifacts with stats-delta replay."""
+    """Memoised per-graph search artifacts with stats-delta replay.
 
-    def __init__(self, graph):
+    Parameters
+    ----------
+    graph:
+        The (never-mutating) graph every artifact is derived from.
+    max_entries:
+        Entry cap; the least-recently-used entry is discarded beyond it.
+        ``None`` (default) keeps the classic unbounded behaviour.
+    ttl:
+        Seconds an entry stays servable; expired entries are rebuilt on
+        their next lookup.  ``None`` (default) never expires.
+    clock:
+        Monotonic time source, injectable for deterministic TTL tests.
+    """
+
+    def __init__(self, graph, max_entries=None, ttl=None,
+                 clock=time.monotonic):
+        if max_entries is not None and (
+                isinstance(max_entries, bool)
+                or not isinstance(max_entries, int) or max_entries < 1):
+            raise ParameterError(
+                "max_entries must be None or a positive integer, "
+                "got {!r}".format(max_entries)
+            )
+        if ttl is not None and (
+                isinstance(ttl, bool)
+                or not isinstance(ttl, (int, float)) or not ttl > 0):
+            raise ParameterError(
+                "ttl must be None or a positive number of seconds, "
+                "got {!r}".format(ttl)
+            )
         self.graph = graph
+        self.max_entries = max_entries
+        self.ttl = ttl
+        self._clock = clock
         # The layer-subset signature of every current key: engines serve
         # whole-graph queries today, so this is the full layer tuple;
         # sub-layer hosting will key finer without changing the scheme.
         self._layers_signature = tuple(graph.layers())
-        self._entries = {}
+        self._entries = OrderedDict()
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
+        self.expirations = 0
 
     def __len__(self):
         return len(self._entries)
@@ -57,19 +105,37 @@ class ArtifactCache:
             "entries": len(self._entries),
             "hits": self.hits,
             "misses": self.misses,
+            "evictions": self.evictions,
+            "expirations": self.expirations,
+            "max_entries": self.max_entries,
+            "ttl": self.ttl,
         }
 
     def _get(self, key, build):
         key = (self._layers_signature,) + key
+        entries = self._entries
         try:
-            value, delta = self._entries[key]
+            value, delta, stamp = entries[key]
         except KeyError:
-            self.misses += 1
-            delta = SearchStats()
-            value = build(delta)
-            self._entries[key] = (value, delta)
+            pass
         else:
-            self.hits += 1
+            if self.ttl is None or self._clock() - stamp <= self.ttl:
+                self.hits += 1
+                entries.move_to_end(key)
+                return value, delta
+            # Expired: rebuild below.  The rebuild recomputes the same
+            # pure function, so the fresh value and delta are identical
+            # to the ones just dropped.
+            del entries[key]
+            self.expirations += 1
+        self.misses += 1
+        delta = SearchStats()
+        value = build(delta)
+        entries[key] = (value, delta, self._clock())
+        if self.max_entries is not None:
+            while len(entries) > self.max_entries:
+                entries.popitem(last=False)
+                self.evictions += 1
         return value, delta
 
     # ------------------------------------------------------------------

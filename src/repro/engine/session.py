@@ -18,26 +18,43 @@ path; the classic sequential algorithms remain reachable through
 ``search_dccs(..., jobs=None)``.
 
 **Invalidation contract.** The engine snapshots its source graph's
-``mutation_version`` at bind time and re-checks it before every search.
-Any mutation of the underlying :class:`MultiLayerGraph` — even one that
-leaves the topology equivalent — rebinds the session: frozen conversion,
-artifact cache and worker pool are discarded and rebuilt from the
-mutated graph.  A stale answer is never returned; the cost of mutation
-is a cold next query.
+``mutation_version`` at bind time and checks it twice per search: before
+submission *and again after collecting results*.  Any mutation of the
+underlying :class:`MultiLayerGraph` — even one that leaves the topology
+equivalent — rebinds the session: frozen conversion, artifact cache and
+worker pool are discarded and rebuilt from the mutated graph.  The
+collect-time re-check closes the check-then-act window where a mutation
+lands between the pre-search check and worker submission: on mismatch
+the engine rebinds and retries the search once against the fresh
+snapshot, so the in-flight results computed from the stale graph are
+discarded rather than delivered.  If the graph has mutated *again* by
+the time the retry collects, the search raises
+:class:`~repro.utils.errors.StaleResultError` — the session is already
+rebound, so retrying the call is safe — rather than deliver either
+attempt.  A stale answer is never returned; the cost of mutation is a
+cold next query.
 
 Engines are not thread-safe (one ambient scratch arena, one pool); share
-the *graph* across engines, not an engine across threads.
+the *graph* across engines, not an engine across threads.  The
+collect-time re-check defends against a *writer* thread mutating the
+graph while a single serving thread searches — the one cross-thread
+interaction the session boundary has to tolerate.
 """
 
 from repro.core.api import resolve_method
 from repro.core.dcc import validate_search_params
+from repro.core.stats import SearchStats
 from repro.engine.cache import ArtifactCache
 from repro.graph.backend import check_backend, resolve_search_graph
 from repro.graph.frozen import ScratchArena
 from repro.parallel.executor import WorkerPool, check_jobs
 from repro.parallel.plan import make_query
 from repro.parallel.search import execute_query, execute_query_batch
-from repro.utils.errors import EngineClosedError, ParameterError
+from repro.utils.errors import (
+    EngineClosedError,
+    ParameterError,
+    StaleResultError,
+)
 from repro.utils.timer import Timer
 
 
@@ -63,9 +80,18 @@ class DCCEngine:
     cache_artifacts:
         Switch the per-graph artifact cache off (``False``) for
         memory-constrained sessions; results are identical either way.
+    cache_max_entries / cache_ttl:
+        Size and TTL bounds forwarded to the :class:`ArtifactCache`.
+        Both default to ``None`` — a standalone engine keeps the classic
+        unbounded cache; :class:`repro.host.DCCHost` passes bounds so
+        many resident engines cannot grow without limit.  Eviction never
+        changes results or counters (see the cache's docstring).
 
     Use as a context manager (or call :meth:`close`) so the worker
-    processes shut down deterministically::
+    processes shut down deterministically; an abandoned engine's pool is
+    additionally shut down by a ``weakref.finalize`` safety net at
+    garbage collection or interpreter exit (see
+    :class:`~repro.parallel.executor.WorkerPool`)::
 
         with DCCEngine(graph, jobs=2) as engine:
             first = engine.search(d=3, s=2, k=2)
@@ -75,13 +101,16 @@ class DCCEngine:
             ])
     """
 
-    def __init__(self, graph, backend="auto", jobs=0, cache_artifacts=True):
+    def __init__(self, graph, backend="auto", jobs=0, cache_artifacts=True,
+                 cache_max_entries=None, cache_ttl=None):
         check_backend(backend)
         check_jobs(jobs)
         self._source = graph
         self._backend = backend
         self._jobs = jobs
         self._cache_enabled = cache_artifacts
+        self._cache_max_entries = cache_max_entries
+        self._cache_ttl = cache_ttl
         self._closed = False
         self.searches_served = 0
         self.invalidations = 0
@@ -107,21 +136,31 @@ class DCCEngine:
         self._pending_overhead = overhead.elapsed
         self._version = self._source.mutation_version
         self._pool = WorkerPool(self._graph, self._jobs)
-        self._cache = ArtifactCache(self._graph) if self._cache_enabled \
-            else None
+        self._cache = ArtifactCache(
+            self._graph, max_entries=self._cache_max_entries,
+            ttl=self._cache_ttl,
+        ) if self._cache_enabled else None
         self._arena = ScratchArena()
+
+    def _rebind_if_stale(self):
+        """Rebind when the source graph mutated; whether a rebind happened.
+
+        The source graph mutating under the session means the frozen
+        conversion, every cached artifact and the graphs held by the
+        worker processes all describe a graph that no longer exists.
+        Rebind rather than ever answering stale.
+        """
+        if self._source.mutation_version == self._version:
+            return False
+        self._pool.close()
+        self.invalidations += 1
+        self._bind()
+        return True
 
     def _ensure_current(self):
         if self._closed:
             raise EngineClosedError()
-        if self._source.mutation_version != self._version:
-            # The source graph mutated under the session: the frozen
-            # conversion, every cached artifact and the graphs held by
-            # the worker processes all describe a graph that no longer
-            # exists.  Rebind rather than ever answering stale.
-            self._pool.close()
-            self.invalidations += 1
-            self._bind()
+        self._rebind_if_stale()
 
     def warm(self):
         """Spawn the worker pool now; returns whether workers are live.
@@ -167,12 +206,27 @@ class DCCEngine:
         ``stats``) and reports sets in the source graph's vocabulary.
         """
         self._ensure_current()
-        stats = options.pop("stats", None)
-        query = self._query_for(d, s, k, method, options)
-        with self._arena:
-            result = execute_query(self._graph, query, self._pool,
-                                   stats=stats, artifacts=self._cache)
-        return self._deliver(result)
+        user_stats = options.pop("stats", None)
+        # Collect-time staleness re-check: a mutation landing between
+        # the _ensure_current() check and worker submission would
+        # otherwise serve results from the stale frozen snapshot.  Run,
+        # re-verify, and retry once against the rebound session (the
+        # retry itself re-verifies at submission through _bind's fresh
+        # version snapshot).  Stats are charged to a private object per
+        # attempt so a discarded stale attempt cannot double-charge the
+        # caller's counters.
+        for _ in range(2):
+            query = self._query_for(d, s, k, method, dict(options))
+            with self._arena:
+                result = execute_query(self._graph, query, self._pool,
+                                       stats=SearchStats(),
+                                       artifacts=self._cache)
+            if not self._rebind_if_stale():
+                return self._deliver(result, user_stats)
+        # Mutated during the original attempt *and* its retry: the
+        # never-stale contract forbids delivering either result.  The
+        # session is already rebound, so the caller can simply retry.
+        raise StaleResultError()
 
     def search_many(self, queries):
         """Pipeline a batch of query specs through the warm pool.
@@ -184,7 +238,7 @@ class DCCEngine:
         are already queued while query ``i`` executes.
         """
         self._ensure_current()
-        specs = []
+        parsed = []
         for entry in queries:
             entry = dict(entry)
             try:
@@ -199,16 +253,41 @@ class DCCEngine:
                 ) from None
             method = entry.pop("method", "auto")
             entry.pop("stats", None)
-            specs.append(self._query_for(d, s, k, method, entry))
-        with self._arena:
-            results = execute_query_batch(self._graph, specs, self._pool,
-                                          artifacts=self._cache)
-        return [self._deliver(result) for result in results]
+            parsed.append((d, s, k, method, entry))
+        for _ in range(2):
+            # Validate (and re-validate after a rebind) before any query
+            # of the batch is submitted — a malformed spec must fail up
+            # front, not mid-pipeline with completed work in flight.
+            specs = [
+                self._query_for(d, s, k, method, dict(entry))
+                for d, s, k, method, entry in parsed
+            ]
+            with self._arena:
+                results = execute_query_batch(self._graph, specs,
+                                              self._pool,
+                                              artifacts=self._cache)
+            # On a mid-batch mutation every result of this batch came
+            # from the stale snapshot, so the whole batch retries.
+            if not self._rebind_if_stale():
+                return [self._deliver(result) for result in results]
+        raise StaleResultError()
+
+    def memory_bytes(self):
+        """Resident bytes of the session's search graph.
+
+        The hook :class:`repro.host.DCCHost` feeds its global memory
+        budget from.  Counts the resolved search graph (CSR arrays plus
+        whatever lazy caches queries actually built — both backends
+        report honestly); the caller-owned source graph is not charged
+        to the session.
+        """
+        return self._graph.memory_bytes()
 
     def info(self):
         """Pool and cache status for monitoring (and ``repro info``)."""
         cache_stats = self._cache.stats() if self._cache is not None else {
-            "entries": 0, "hits": 0, "misses": 0,
+            "entries": 0, "hits": 0, "misses": 0, "evictions": 0,
+            "expirations": 0,
         }
         return {
             "backend": "frozen-csr" if self._graph.is_frozen
@@ -224,6 +303,9 @@ class DCCEngine:
             "cache_entries": cache_stats["entries"],
             "cache_hits": cache_stats["hits"],
             "cache_misses": cache_stats["misses"],
+            "cache_evictions": cache_stats["evictions"],
+            "cache_expirations": cache_stats["expirations"],
+            "memory_bytes": self.memory_bytes(),
             "scratch_reuses": self._arena.reuses,
             "invalidations": self.invalidations,
             "mutation_version": self._version,
@@ -242,7 +324,7 @@ class DCCEngine:
         method = resolve_method(self._graph.num_layers, method, s, options)
         return make_query(method, d, s, k, **options)
 
-    def _deliver(self, result):
+    def _deliver(self, result, user_stats=None):
         result.elapsed += self._pending_overhead
         self._pending_overhead = 0.0
         if self._translate:
@@ -254,5 +336,12 @@ class DCCEngine:
                     self._graph.labels_for(members) for members in result.sets
                 ]
             result.elapsed += translation.elapsed
+        if user_stats is not None:
+            # The search ran against a private stats object (so a
+            # discarded stale attempt leaves no trace); fold the final
+            # attempt's counters into the caller's accumulator, which
+            # stays the object the result reports — one-shot semantics.
+            user_stats.merge(result.stats)
+            result.stats = user_stats
         self.searches_served += 1
         return result

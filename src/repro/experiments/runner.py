@@ -73,7 +73,7 @@ def result_row(result, **extra):
 
 
 def sweep(graph, parameter, values, base, methods, backend="auto",
-          jobs=None, engine=None, **options):
+          jobs=None, engine=None, host=None, graph_name=None, **options):
     """Sweep ``parameter`` over ``values`` with other params from ``base``.
 
     ``base`` maps ``d``/``s``/``k`` to their fixed values; the swept
@@ -88,9 +88,35 @@ def sweep(graph, parameter, values, base, methods, backend="auto",
     created once and serves **every point**, so the pool spawns once per
     sweep instead of once per row and per-graph artifacts carry across
     points.  Pass ``engine=`` to share a session across sweeps.
+
+    ``host`` shares a :class:`repro.host.DCCHost` across sweeps over
+    *different* graphs: the sweep attaches ``graph`` under
+    ``graph_name`` (default: the graph's own name; auto-suffixed when
+    the name is already serving a different graph object, e.g. the same
+    dataset at another scale) on first use and serves every row through
+    the host's engine for it, re-acquired per row so host-level
+    eviction between rows only costs a cold query, never a crash.  The host outlives the sweep — closing it (and its
+    pools) stays the caller's job, which is the point: one warm host
+    amortises engines across a whole table of dataset rows.
     """
     own_engine = None
-    if engine is None and jobs is not None:
+    use_host = engine is None and host is not None
+    if use_host:
+        if graph_name is None:
+            graph_name = getattr(graph, "name", "") \
+                or "sweep-graph-{:x}".format(id(graph))
+        if host.is_attached(graph_name) and \
+                host.graph(graph_name) is not graph:
+            # Same name, different graph object — the vary_* wrappers
+            # reuse the dataset name, so this is the same dataset at
+            # another scale/seed.  Derive a unique name instead of
+            # aborting; identical graphs still share one session
+            # because the dataset loader memoises by (name, scale,
+            # seed).
+            graph_name = "{}@{:x}".format(graph_name, id(graph))
+        if not host.is_attached(graph_name):
+            host.attach(graph_name, graph, backend=backend, jobs=jobs)
+    elif engine is None and jobs is not None:
         from repro.engine import DCCEngine
 
         own_engine = engine = DCCEngine(graph, backend=backend, jobs=jobs)
@@ -99,6 +125,8 @@ def sweep(graph, parameter, values, base, methods, backend="auto",
         for value in values:
             point = dict(base)
             point[parameter] = value
+            if use_host:
+                engine = host.engine(graph_name)
             for row in measure_point(
                 graph, point["d"], point["s"], point["k"], methods,
                 backend=backend, jobs=jobs, engine=engine, **options

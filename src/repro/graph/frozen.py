@@ -28,6 +28,7 @@ translates results back automatically when it froze the graph itself.
 
 from array import array
 from bisect import bisect_left
+from collections import OrderedDict
 import sys
 
 from repro.utils.errors import (
@@ -36,6 +37,57 @@ from repro.utils.errors import (
     ParameterError,
     VertexError,
 )
+
+# Per-layer cap on the lazy neighbour-set cache (entries = vertices with
+# a materialised frozenset of neighbours).  The cache exists because a
+# C-level set intersection beats any pure-Python CSR walk on small
+# induced-degree subsets, but each entry costs dict-backend-scale memory
+# — unbounded, a long-lived session over a large graph would slowly
+# rebuild the dict representation it froze to escape.  At the cap the
+# least-recently-used entry is discarded; a re-touched vertex just
+# rebuilds its set from the CSR row, so results never change.
+DEFAULT_NEIGHBOR_SET_CAP = 32768
+
+
+class _BoundedNeighborSets:
+    """Per-vertex neighbour frozensets of one layer, LRU-bounded.
+
+    Indexable like the plain list it replaces (``sets[v]`` for a dense
+    vertex id); entries are built on demand from the CSR row and at most
+    ``cap`` of them stay cached.
+    """
+
+    __slots__ = ("_indptr", "_nbrs", "_cap", "_entries")
+
+    def __init__(self, indptr, nbrs, cap):
+        self._indptr = indptr
+        self._nbrs = nbrs
+        self._cap = cap
+        self._entries = OrderedDict()
+
+    def __len__(self):
+        return len(self._entries)
+
+    def __getitem__(self, vertex):
+        entries = self._entries
+        try:
+            value = entries[vertex]
+        except KeyError:
+            value = frozenset(
+                self._nbrs[self._indptr[vertex]:self._indptr[vertex + 1]]
+            )
+            entries[vertex] = value
+            if len(entries) > self._cap:
+                entries.popitem(last=False)
+        else:
+            entries.move_to_end(vertex)
+        return value
+
+    def memory_bytes(self):
+        """Resident bytes of the currently cached entries."""
+        total = sys.getsizeof(self._entries)
+        total += sum(sys.getsizeof(s) for s in self._entries.values())
+        return total
 
 
 class FrozenMultiLayerGraph:
@@ -63,13 +115,14 @@ class FrozenMultiLayerGraph:
         "_ptr_lists",
         "_deg_lists",
         "_nbr_sets",
+        "_nbr_set_cap",
         "_adj_dicts",
         "_vertex_set",
         "_thawed_cache",
     )
 
     def __init__(self, labels, indptr, indices, edge_counts, layer_masks,
-                 name=""):
+                 name="", neighbor_set_cap=None):
         self.name = name
         self.labels = labels
         self._ids = {label: i for i, label in enumerate(labels)}
@@ -83,6 +136,8 @@ class FrozenMultiLayerGraph:
         self._ptr_lists = [None] * len(indptr)
         self._deg_lists = [None] * len(indptr)
         self._nbr_sets = [None] * len(indptr)
+        self._nbr_set_cap = DEFAULT_NEIGHBOR_SET_CAP \
+            if neighbor_set_cap is None else neighbor_set_cap
         self._adj_dicts = [None] * len(indptr)
         self._vertex_set = None
         self._thawed_cache = None
@@ -328,9 +383,14 @@ class FrozenMultiLayerGraph:
         self._check_layer(layer)
         cached = self._adj_dicts[layer]
         if cached is None:
-            neighbor_sets = self._neighbor_sets(layer)
+            # Built straight from the CSR rows rather than through the
+            # bounded neighbour-set cache: a full-graph sweep would
+            # otherwise thrash the LRU without ever hitting it.
+            indptr = self._indptr_list(layer)
+            nbrs = self._neighbor_list(layer)
             cached = {
-                v: neighbor_sets[v] for v in range(self.num_vertices)
+                v: frozenset(nbrs[indptr[v]:indptr[v + 1]])
+                for v in range(self.num_vertices)
             }
             self._adj_dicts[layer] = cached
         return cached
@@ -446,11 +506,11 @@ class FrozenMultiLayerGraph:
                     total += sys.getsizeof(mirror)
         for sets in self._nbr_sets:
             if sets is not None:
-                total += sys.getsizeof(sets)
-                total += sum(sys.getsizeof(s) for s in sets)
+                total += sets.memory_bytes()
         for adj in self._adj_dicts:
             if adj is not None:
                 total += sys.getsizeof(adj)
+                total += sum(sys.getsizeof(s) for s in adj.values())
         return total
 
     # ------------------------------------------------------------------
@@ -502,21 +562,22 @@ class FrozenMultiLayerGraph:
         return cached
 
     def _neighbor_sets(self, layer):
-        """Per-vertex neighbour sets of ``layer`` (cached, built lazily).
+        """Per-vertex neighbour sets of ``layer`` (lazy, LRU-bounded).
 
-        Used only by the small-subset branch of the induced-degree
+        Used by the small-subset branch of the induced-degree
         computation, where a C-level set intersection beats any
-        pure-Python walk of the CSR row.  Costs roughly the dict
-        backend's memory for that layer, which is why it is lazy.
+        pure-Python walk of the CSR row, and by the checked
+        :meth:`neighbors` accessor.  Entries cost roughly the dict
+        backend's memory per vertex, so at most ``_nbr_set_cap`` of them
+        stay resident per layer (:class:`_BoundedNeighborSets`); an
+        evicted vertex rebuilds its set from the CSR row on next touch.
         """
         cached = self._nbr_sets[layer]
         if cached is None:
-            indptr = self._indptr_list(layer)
-            nbrs = self._neighbor_list(layer)
-            cached = [
-                frozenset(nbrs[indptr[v]:indptr[v + 1]])
-                for v in range(self.num_vertices)
-            ]
+            cached = _BoundedNeighborSets(
+                self._indptr_list(layer), self._neighbor_list(layer),
+                self._nbr_set_cap,
+            )
             self._nbr_sets[layer] = cached
         return cached
 

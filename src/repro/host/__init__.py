@@ -1,0 +1,28 @@
+"""Multi-graph hosting: a registry of engine sessions under one roof.
+
+One :class:`DCCHost` serves d-CC queries over many named graphs from a
+single process, admitting :class:`repro.engine.DCCEngine` sessions
+lazily and evicting them LRU-first under a resident-engine cap and an
+optional global memory budget — eviction closes the victim's worker
+pool, and re-admission is cold but bitwise exact.  Host-owned engines
+run with bounded artifact caches; standalone engines stay unbounded by
+default.
+
+``repro host`` drives one from a JSON batch spec
+(:func:`~repro.host.spec.parse_host_spec`); ``docs/architecture.md``
+documents the admission-control and eviction policy.
+"""
+
+from repro.host.registry import (
+    DEFAULT_CACHE_MAX_ENTRIES,
+    DEFAULT_MAX_ENGINES,
+    DCCHost,
+)
+from repro.host.spec import parse_host_spec
+
+__all__ = [
+    "DCCHost",
+    "DEFAULT_MAX_ENGINES",
+    "DEFAULT_CACHE_MAX_ENTRIES",
+    "parse_host_spec",
+]

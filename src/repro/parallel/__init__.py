@@ -33,6 +33,7 @@ from repro.parallel.executor import (
     WorkerPool,
     check_jobs,
     effective_jobs,
+    live_pool_count,
 )
 from repro.parallel.plan import Query, make_query, plan_query
 from repro.parallel.search import (
@@ -55,6 +56,7 @@ __all__ = [
     "execute_query_batch",
     "check_jobs",
     "effective_jobs",
+    "live_pool_count",
     "WorkerPool",
     "MAX_WORKERS",
     "Query",

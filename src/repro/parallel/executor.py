@@ -17,6 +17,7 @@ what makes ``jobs=4`` bitwise identical to ``jobs=1``.
 """
 
 import os
+import weakref
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 
@@ -34,6 +35,33 @@ from repro.utils.errors import ParameterError
 MAX_WORKERS = 64
 
 _SPAWN_ERRORS = (OSError, PermissionError, BrokenProcessPool)
+
+# Every constructed WorkerPool, held weakly, for process accounting: a
+# multi-engine host (or a leak-hunting test) can ask how many pools
+# currently hold live worker processes without keeping any alive.
+_LIVE_POOLS = weakref.WeakSet()
+
+
+def live_pool_count():
+    """How many :class:`WorkerPool` instances have spawned processes.
+
+    The leak-detection counter behind the host's eviction contract: a
+    closed or evicted pool must no longer appear here.
+    """
+    return sum(1 for pool in _LIVE_POOLS if pool.spawned)
+
+
+def _shutdown_executor(executor):
+    """Finalizer body: tear down a pool's worker processes.
+
+    Module-level (not a bound method) so the ``weakref.finalize``
+    registration cannot keep its :class:`WorkerPool` alive.  Tolerates
+    executor doubles without a ``shutdown`` (tests stub the pool class
+    to simulate spawn failure).
+    """
+    shutdown = getattr(executor, "shutdown", None)
+    if shutdown is not None:
+        shutdown(wait=False, cancel_futures=True)
 
 
 def check_jobs(jobs):
@@ -130,8 +158,13 @@ class WorkerPool:
     :class:`~repro.parallel.worker.QueryRunnerCache` machinery — same
     results, one core.
 
-    Use as a context manager, or call :meth:`close`; an unclosed pool
-    keeps its worker processes alive until garbage collection.
+    Use as a context manager, or call :meth:`close`, so worker processes
+    shut down deterministically.  Callers are nonetheless not *relied*
+    on: every spawned executor is registered with a ``weakref.finalize``
+    safety net that tears the processes down when the pool is garbage
+    collected — or, failing that, at interpreter exit — so an abandoned
+    pool (an engine dropped without ``close()``) cannot leak worker
+    processes.
     """
 
     def __init__(self, graph, jobs=0):
@@ -140,11 +173,13 @@ class WorkerPool:
         self.workers = effective_jobs(jobs)
         self._payload = None
         self._pool = None
+        self._finalizer = None
         self._broken = False
         self._closed = False
         self._inline = QueryRunnerCache(graph)
         self.queries_served = 0
         self.tasks_executed = 0
+        _LIVE_POOLS.add(self)
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -154,6 +189,11 @@ class WorkerPool:
     def spawned(self):
         """Whether worker processes are currently live."""
         return self._pool is not None
+
+    @property
+    def closed(self):
+        """Whether :meth:`close` has been called."""
+        return self._closed
 
     @property
     def inline_fallback(self):
@@ -207,6 +247,14 @@ class WorkerPool:
                 )
             except _SPAWN_ERRORS:
                 self._mark_broken()
+            else:
+                # The safety net: keyed on *this pool's* lifetime, so a
+                # pool abandoned without close() still shuts its worker
+                # processes down at garbage collection, and finalize's
+                # built-in atexit hook covers interpreter exit.
+                self._finalizer = weakref.finalize(
+                    self, _shutdown_executor, self._pool
+                )
         return self._pool
 
     def _mark_broken(self):
@@ -214,7 +262,13 @@ class WorkerPool:
         self._shutdown_pool()
 
     def _shutdown_pool(self):
+        finalizer, self._finalizer = self._finalizer, None
         pool, self._pool = self._pool, None
+        if finalizer is not None:
+            # Calling the finalizer runs _shutdown_executor exactly once
+            # and unregisters the GC/atexit hook in the same stroke.
+            finalizer()
+            return
         shutdown = getattr(pool, "shutdown", None)
         if shutdown is not None:
             shutdown(wait=False, cancel_futures=True)

@@ -62,3 +62,47 @@ class EngineClosedError(GraphError, RuntimeError):
             "this DCCEngine has been closed; construct a new engine to "
             "search again"
         )
+
+
+class StaleResultError(GraphError, RuntimeError):
+    """Raised when a search cannot outrun concurrent graph mutation.
+
+    The engine re-verifies ``mutation_version`` after collecting results
+    and retries once against a rebound snapshot; if the graph has
+    mutated *again* by the time the retry collects, delivering would
+    violate the never-stale contract, so the search fails instead.  The
+    session has already rebound — retrying the call is safe.
+    """
+
+    def __str__(self):
+        return (
+            "the source graph mutated during the search and again during "
+            "its retry; the session is rebound — retry the search once "
+            "the writer quiesces"
+        )
+
+
+class HostClosedError(GraphError, RuntimeError):
+    """Raised when an operation is attempted on a closed :class:`DCCHost`."""
+
+    def __str__(self):
+        return (
+            "this DCCHost has been closed; construct a new host to serve "
+            "again"
+        )
+
+
+class UnknownGraphError(GraphError, KeyError):
+    """Raised when a host operation names a graph that was never attached."""
+
+    def __init__(self, name, attached=()):
+        super().__init__(name)
+        self.name = name
+        self.attached = tuple(attached)
+
+    def __str__(self):
+        if self.attached:
+            return "no graph named {!r} is attached (attached: {})".format(
+                self.name, ", ".join(repr(n) for n in self.attached)
+            )
+        return "no graph named {!r} is attached (none are)".format(self.name)

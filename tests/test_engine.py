@@ -188,6 +188,89 @@ class TestArtifactCache:
         cache.preprocess(3, 2, False)
         assert cache.misses == 3 and cache.hits == 0
 
+    def test_unbounded_by_default(self):
+        cache = ArtifactCache(paper_figure1_graph().freeze())
+        assert cache.max_entries is None and cache.ttl is None
+
+    def test_size_cap_discards_lru(self):
+        graph = paper_figure1_graph().freeze()
+        cache = ArtifactCache(graph, max_entries=2)
+        cache.preprocess(3, 2, True)
+        cache.preprocess(2, 2, True)
+        cache.preprocess(3, 2, True)   # touch: (2, 2) is now LRU
+        cache.preprocess(1, 2, True)   # evicts (2, 2)
+        assert len(cache) == 2 and cache.evictions == 1
+        cache.preprocess(3, 2, True)   # survivor: still a hit
+        assert cache.hits == 2
+        cache.preprocess(2, 2, True)   # victim: rebuilt as a miss
+        assert cache.misses == 4
+
+    def test_ttl_expiry_rebuilds_identically(self):
+        clock = [0.0]
+        graph = paper_figure1_graph().freeze()
+        cache = ArtifactCache(graph, ttl=5.0, clock=lambda: clock[0])
+        before, delta_before = cache.preprocess(3, 2, True)
+        clock[0] = 4.0
+        assert cache.preprocess(3, 2, True)[0] is before  # still fresh
+        clock[0] = 10.0
+        after, delta_after = cache.preprocess(3, 2, True)
+        assert cache.expirations == 1 and cache.misses == 2
+        assert after is not before
+        assert after.alive == before.alive
+        assert after.cores == before.cores
+        assert delta_after.as_dict() == delta_before.as_dict()
+
+    def test_bound_validation(self):
+        graph = paper_figure1_graph().freeze()
+        for bad in (0, -1, True, "8"):
+            with pytest.raises(ParameterError):
+                ArtifactCache(graph, max_entries=bad)
+        for bad in (0, -2.5):
+            with pytest.raises(ParameterError):
+                ArtifactCache(graph, ttl=bad)
+
+
+class TestCacheEviction:
+    """Warm results stay bitwise cold-identical across any eviction."""
+
+    @given(st.data())
+    @settings(max_examples=3, deadline=None)
+    def test_warm_equals_cold_across_size_and_ttl_evictions(self, data):
+        graph = data.draw(multilayer_graphs(max_vertices=8, max_layers=3))
+        d, s, k = data.draw(search_parameters(graph))
+        clock = [0.0]
+        queries = [
+            {"d": d, "s": s, "k": k, "method": method, "seed": 5}
+            for method in METHODS
+        ] * 2
+        with DCCEngine(graph, jobs=1) as reference:
+            cold = [reference.search(**dict(query)) for query in queries]
+        # max_entries=1 thrashes every artifact class; the crawling
+        # clock expires whatever survives the size cap.
+        with DCCEngine(graph, jobs=1, cache_max_entries=1,
+                       cache_ttl=0.5) as engine:
+            engine._cache._clock = lambda: clock[0]
+            evicted = []
+            for query in queries:
+                clock[0] += 0.4
+                evicted.append(engine.search(**dict(query)))
+            churn = engine.info()
+        assert churn["cache_evictions"] + churn["cache_expirations"] > 0
+        for one, two in zip(cold, evicted):
+            assert_identical(one, two, (d, s, k))
+
+    def test_engine_forwards_bounds_to_its_cache(self):
+        with DCCEngine(paper_figure1_graph(), jobs=1, cache_max_entries=3,
+                       cache_ttl=60.0) as engine:
+            assert engine._cache.max_entries == 3
+            assert engine._cache.ttl == 60.0
+            # Bounds survive a rebind — the fresh cache is bounded too.
+            engine._source.add_vertex("fresh")
+            engine.search(2, 1, 1)
+            assert engine.invalidations == 1
+            assert engine._cache.max_entries == 3
+            assert engine._cache.ttl == 60.0
+
 
 # ----------------------------------------------------------------------
 # 3. invalidation on source-graph mutation
@@ -253,6 +336,123 @@ class TestInvalidation:
             engine.search(2, 2, 2)
             assert engine.invalidations == 0
 
+    def _densify_corner(self, graph):
+        """Make vertices 0..3 a 3-dense clique on layer 0."""
+        for u in range(4):
+            for v in range(u + 1, 4):
+                if not graph.has_edge(0, u, v):
+                    graph.add_edge(0, u, v)
+
+    def test_mutation_mid_search_retries_on_fresh_snapshot(self,
+                                                           monkeypatch):
+        # Regression for the check-then-act race: mutation_version is
+        # checked before submission, so a mutation landing while the
+        # search is in flight used to be served from the stale frozen
+        # snapshot.  The collect-time re-check must discard the stale
+        # attempt and retry against the rebound session.
+        from repro.engine import session as session_module
+
+        graph = self._ring()
+        real = session_module.execute_query
+        fired = []
+
+        def racy(search_graph, query, pool, stats=None, artifacts=None):
+            result = real(search_graph, query, pool, stats=stats,
+                          artifacts=artifacts)
+            if not fired:
+                fired.append(True)
+                self._densify_corner(graph)  # the writer lands mid-flight
+            return result
+
+        monkeypatch.setattr(session_module, "execute_query", racy)
+        with DCCEngine(graph, jobs=1) as engine:
+            served = engine.search(3, 1, 1)
+            assert engine.invalidations == 1
+        fresh = search_dccs(graph, 3, 1, 1, jobs=1)
+        assert served.sets != []  # the stale snapshot would report []
+        assert_identical(served, fresh)
+
+    def test_mutation_mid_batch_retries_whole_batch(self, monkeypatch):
+        from repro.engine import session as session_module
+
+        graph = self._ring()
+        real = session_module.execute_query_batch
+        fired = []
+
+        def racy(search_graph, specs, pool, artifacts=None):
+            results = real(search_graph, specs, pool, artifacts=artifacts)
+            if not fired:
+                fired.append(True)
+                self._densify_corner(graph)
+            return results
+
+        monkeypatch.setattr(session_module, "execute_query_batch", racy)
+        with DCCEngine(graph, jobs=1) as engine:
+            first, second = engine.search_many([
+                {"d": 3, "s": 1, "k": 1},
+                {"d": 2, "s": 2, "k": 2},
+            ])
+            assert engine.invalidations == 1
+        assert first.sets != []
+        assert_identical(first, search_dccs(graph, 3, 1, 1, jobs=1))
+        assert_identical(second, search_dccs(graph, 2, 2, 2, jobs=1))
+
+    def test_mutation_during_both_attempts_raises_never_stale(
+            self, monkeypatch):
+        # A writer outrunning the retry means neither attempt's results
+        # are current; delivering either would violate the never-stale
+        # contract, so the search must fail (with the session rebound,
+        # so an immediate retry works).
+        from repro.engine import session as session_module
+        from repro.utils.errors import StaleResultError
+
+        graph = self._ring()
+        real = session_module.execute_query
+
+        def always_racy(search_graph, query, pool, stats=None,
+                        artifacts=None):
+            result = real(search_graph, query, pool, stats=stats,
+                          artifacts=artifacts)
+            graph.add_edge(0, 0, graph.mutation_version % 5 + 2)
+            return result
+
+        monkeypatch.setattr(session_module, "execute_query", always_racy)
+        with DCCEngine(graph, jobs=1) as engine:
+            with pytest.raises(StaleResultError):
+                engine.search(2, 1, 2)
+            assert engine.invalidations == 2
+            # The writer quiesces: the rebound session serves normally.
+            monkeypatch.setattr(session_module, "execute_query", real)
+            served = engine.search(2, 1, 2)
+        assert_identical(served, search_dccs(graph, 2, 1, 2, jobs=1))
+
+    def test_mid_search_mutation_does_not_double_charge_user_stats(
+            self, monkeypatch):
+        from repro.core.stats import SearchStats
+        from repro.engine import session as session_module
+
+        graph = self._ring()
+        real = session_module.execute_query
+        fired = []
+
+        def racy(search_graph, query, pool, stats=None, artifacts=None):
+            result = real(search_graph, query, pool, stats=stats,
+                          artifacts=artifacts)
+            if not fired:
+                fired.append(True)
+                self._densify_corner(graph)
+            return result
+
+        monkeypatch.setattr(session_module, "execute_query", racy)
+        with DCCEngine(graph, jobs=1) as engine:
+            mine = SearchStats()
+            served = engine.search(3, 1, 1, stats=mine)
+            assert served.stats is mine
+        fresh = search_dccs(graph, 3, 1, 1, jobs=1)
+        # Only the delivered (post-rebind) attempt may charge the
+        # caller's accumulator — the discarded stale attempt is free.
+        assert mine.as_dict() == fresh.stats.as_dict()
+
     def test_mutation_version_counter(self):
         graph = self._ring()
         start = graph.mutation_version
@@ -291,6 +491,37 @@ class TestLifecycle:
             engine.search(1, 1, 1)
         with pytest.raises(EngineClosedError):
             engine.search_many([{"d": 1, "s": 1, "k": 1}])
+
+    def test_abandoned_engine_pool_is_finalized(self):
+        # The weakref.finalize safety net: an engine dropped without
+        # close() must not leak its worker processes past garbage
+        # collection (and, via finalize's atexit hook, past exit).
+        import gc
+
+        engine = DCCEngine(paper_figure1_graph(), jobs=2)
+        assert engine.warm() is True
+        finalizer = engine._pool._finalizer
+        assert finalizer is not None and finalizer.alive
+        del engine
+        gc.collect()
+        assert not finalizer.alive
+
+    def test_close_detaches_the_finalizer(self):
+        with DCCEngine(paper_figure1_graph(), jobs=2) as engine:
+            engine.warm()
+            finalizer = engine._pool._finalizer
+            assert finalizer.alive
+        assert not finalizer.alive
+
+    def test_live_pool_count_tracks_spawned_pools(self):
+        from repro.parallel import live_pool_count
+
+        baseline = live_pool_count()
+        with DCCEngine(paper_figure1_graph(), jobs=2) as engine:
+            assert live_pool_count() == baseline
+            engine.warm()
+            assert live_pool_count() == baseline + 1
+        assert live_pool_count() == baseline
 
     def test_spawn_failure_degrades_to_inline(self, monkeypatch):
         from repro.parallel import executor as executor_module
