@@ -1,8 +1,51 @@
-"""Pytest path shim: make `import repro` work even without installation."""
+"""Pytest configuration shared by the test and benchmark suites.
+
+Two jobs:
+
+1. Path shim — make ``import repro`` work even without installation.
+2. Marker tooling — register the ``slow`` and ``stress`` markers and
+   keep ``stress`` tests out of the default (tier-1) run: ``pytest -x
+   -q`` must stay within the seed suite's wall-time budget, so heavy
+   concurrency/throughput tests only run when asked for explicitly
+   (``-m stress``, or ``REPRO_STRESS=1`` — the switch the dedicated CI
+   job flips).
+"""
 
 import os
 import sys
 
+import pytest
+
 _SRC = os.path.join(os.path.dirname(__file__), "src")
 if _SRC not in sys.path:
     sys.path.insert(0, _SRC)
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "slow: takes noticeably longer than the suite's median test; "
+        "runs in tier-1 but is the first candidate for deselection",
+    )
+    config.addinivalue_line(
+        "markers",
+        "stress: heavy concurrency/fault/throughput exercise; skipped "
+        "unless selected with -m stress or REPRO_STRESS=1",
+    )
+
+
+def _stress_selected(config):
+    if os.environ.get("REPRO_STRESS") == "1":
+        return True
+    return "stress" in (config.getoption("-m") or "")
+
+
+def pytest_collection_modifyitems(config, items):
+    if _stress_selected(config):
+        return
+    skip_stress = pytest.mark.skip(
+        reason="stress test; select with -m stress or REPRO_STRESS=1"
+    )
+    for item in items:
+        if "stress" in item.keywords:
+            item.add_marker(skip_stress)

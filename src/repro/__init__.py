@@ -16,6 +16,9 @@ The package exposes:
 * :mod:`repro.host` — multi-graph hosting (:class:`repro.DCCHost`): a
   registry of engine sessions with LRU admission control and a global
   memory budget;
+* :mod:`repro.aio` — the async serving front-end
+  (:class:`repro.AsyncDCCHost`): per-graph request queues, in-flight
+  coalescing and backpressure over a hosted registry;
 * :mod:`repro.baselines` — the exact solver and the quasi-clique
   (MiMAG-style) comparison baseline;
 * :mod:`repro.metrics` — cover / similarity / recovery metrics;
@@ -48,6 +51,7 @@ __all__ = [
     "search_dccs",
     "DCCEngine",
     "DCCHost",
+    "AsyncDCCHost",
     "coherent_core",
     "gd_dccs",
     "bu_dccs",
@@ -68,6 +72,10 @@ def __getattr__(name):
         from repro.host import DCCHost
 
         return DCCHost
+    if name == "AsyncDCCHost":
+        from repro.aio import AsyncDCCHost
+
+        return AsyncDCCHost
     raise AttributeError(
         "module {!r} has no attribute {!r}".format(__name__, name)
     )

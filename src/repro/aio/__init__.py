@@ -1,0 +1,26 @@
+"""Async serving over the multi-graph host.
+
+:class:`AsyncDCCHost` puts an asyncio front-end on
+:class:`repro.host.DCCHost`: per-graph bounded request queues with one
+dispatcher task each, in-flight coalescing of identical specs,
+backpressure via :class:`~repro.utils.errors.QueueFullError`, and a
+graceful drain on ``aclose()`` — while the submission/collection split
+in the engine and worker pool lets dispatchers *await* shard futures
+instead of parking a thread per request.
+
+``repro serve`` drives one as a JSON-lines loop over stdin/stdout;
+``docs/architecture.md`` documents the queueing, coalescing and
+eviction-safety design.
+"""
+
+from repro.aio.host import (
+    DEFAULT_MAX_PENDING,
+    MAX_BATCH,
+    AsyncDCCHost,
+)
+
+__all__ = [
+    "AsyncDCCHost",
+    "DEFAULT_MAX_PENDING",
+    "MAX_BATCH",
+]

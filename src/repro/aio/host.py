@@ -1,0 +1,556 @@
+"""The async serving front-end over the synchronous multi-graph host.
+
+:class:`AsyncDCCHost` is the layer the ROADMAP's serving track put
+after PR 4's :class:`~repro.host.registry.DCCHost`: many concurrent
+asyncio clients issuing d-CC searches over many named graphs, served by
+one host process without a thread parked per request.
+
+Design
+------
+* **Per-graph request queues.**  Every attached graph with traffic gets
+  a bounded :class:`asyncio.Queue` (``max_pending`` slots) and one
+  *dispatcher* task.  The dispatcher drains whatever requests have
+  accumulated into a batch, leases the graph's engine, and serves the
+  batch pipelined — submit all, await all, collect in order — so one
+  graph's queue depth turns into engine-level pipelining, not into
+  per-request pool spawns.
+* **Backpressure.**  A full queue rejects new requests with
+  :class:`~repro.utils.errors.QueueFullError` instead of buffering
+  without bound; callers shed load or retry.  Coalesced duplicates (see
+  below) never occupy a queue slot.
+* **Request coalescing.**  Requests whose ``(graph, method, d, s, k,
+  options)`` spec is identical to one already in flight attach to it
+  rather than re-executing: when the primary completes, every attached
+  waiter receives a deep copy of its result.  The engine layer's
+  warm==cold counter-replay contract is what makes this invisible —
+  a coalesced answer is bitwise identical (sets, labels, counters) to
+  re-running the spec, so coalescing trades only duplicate work, never
+  results.
+* **No thread per request.**  Serving leans on the submission/collection
+  split threaded through the stack (``DCCEngine.submit`` →
+  ``WorkerPool.submit_query``): the dispatcher submits on a pool
+  thread, *awaits* the in-flight shard futures on the event loop
+  (``asyncio.wrap_future``), and only then runs the cheap collect/merge
+  on a pool thread.  Worker-pool execution never holds a thread; inline
+  execution (``jobs=1`` engines) holds one thread per *active engine*
+  for the duration of the compute, which keeps the event loop live
+  either way.
+* **Eviction safety.**  A dispatcher holds a :meth:`DCCHost.lease` on
+  its graph while serving, so admission-control eviction (another graph
+  being admitted under ``max_engines`` pressure) can never close a pool
+  with shard futures in flight.  The number of concurrently *serving*
+  graphs is itself capped at ``max_engines``; dispatchers beyond it
+  wait their turn, which guarantees an evictable (idle, unpinned)
+  victim always exists.
+* **Graceful drain.**  :meth:`aclose` stops accepting work, lets every
+  dispatcher finish the requests already queued, then closes the
+  underlying host — every worker pool shuts down
+  (``live_pool_count()`` returns to its baseline).
+
+Determinism contract, carried from PRs 2–4 and property-tested in
+``tests/test_aio.py``: any interleaving of async clients yields, for
+every request, results and counters bitwise identical to the same spec
+run sequentially on a plain :class:`DCCHost` — across evictions,
+coalesced duplicates and dispatcher batching.
+
+One event loop at a time: the host binds to the loop of its first
+request and rebinds automatically once that loop is closed (which is
+what lets :meth:`run_batch` bridge from synchronous code, one
+``asyncio.run`` at a time).  Concurrent use from two live loops raises.
+"""
+
+import asyncio
+import copy
+import threading
+from contextlib import asynccontextmanager
+from functools import partial
+
+from repro.host import DCCHost
+from repro.utils.errors import (
+    HostClosedError,
+    ParameterError,
+    QueueFullError,
+    UnknownGraphError,
+)
+
+# Default bound on queued (not yet dispatched) requests per graph.
+DEFAULT_MAX_PENDING = 1024
+
+# How many queued requests one dispatcher turn drains into a pipelined
+# batch.  Bounds the latency of a drain/stop request landing behind a
+# deep queue; engine pipelining gains flatten out well before this.
+MAX_BATCH = 32
+
+# Queue sentinel telling a dispatcher to exit after the queue drains.
+_STOP = object()
+
+
+class _Request:
+    """One enqueued search plus everything needed to answer it."""
+
+    __slots__ = ("spec", "key", "future", "waiters")
+
+    def __init__(self, spec, key, future):
+        self.spec = spec
+        self.key = key
+        self.future = future
+        self.waiters = []
+
+
+def _coalesce_key(name, d, s, k, method, options):
+    """The in-flight identity of a spec, or ``None`` if uncoalescable.
+
+    Unhashable option values (a caller-supplied ``stats`` accumulator,
+    say) opt the request out of coalescing rather than failing it.
+    """
+    try:
+        key = (name, method, d, s, k, tuple(sorted(options.items())))
+        hash(key)
+    except TypeError:
+        return None
+    return key
+
+
+class AsyncDCCHost:
+    """Async façade over a :class:`DCCHost`; see the module docstring.
+
+    Parameters
+    ----------
+    host:
+        An existing :class:`DCCHost` to serve through, or ``None`` to
+        construct one from ``host_options`` (``max_engines``, ``jobs``,
+        ``backend``, ...).  Either way :meth:`aclose` closes it.
+    max_pending:
+        Per-graph bound on queued requests; a full queue raises
+        :class:`~repro.utils.errors.QueueFullError`.
+    coalesce:
+        Switch in-flight duplicate coalescing off (``True`` by
+        default); results are identical either way.
+
+    Use as an async context manager (or call :meth:`aclose`) so the
+    drain-and-shutdown runs::
+
+        async with AsyncDCCHost(max_engines=2, jobs=2) as host:
+            host.attach("ppi", ppi_graph)
+            results = await asyncio.gather(
+                host.search("ppi", d=3, s=2, k=2),
+                host.search("ppi", d=3, s=2, k=2),   # coalesces
+            )
+    """
+
+    def __init__(self, host=None, max_pending=DEFAULT_MAX_PENDING,
+                 coalesce=True, **host_options):
+        if host is not None and host_options:
+            raise ParameterError(
+                "pass either an existing host or host options to build "
+                "one, not both (got host= plus {})".format(
+                    sorted(host_options)
+                )
+            )
+        if isinstance(max_pending, bool) or not isinstance(max_pending, int) \
+                or max_pending < 1:
+            raise ParameterError(
+                "max_pending must be a positive integer, got {!r}".format(
+                    max_pending
+                )
+            )
+        self._host = host if host is not None else DCCHost(**host_options)
+        # Admission (a possible O(n + m) freeze plus pool teardown of
+        # the eviction victim) runs on executor threads so the event
+        # loop stays responsive; this lock is what makes the host's
+        # single-threaded registry safe against loop-side calls
+        # (attach/detach/info) landing mid-admission.
+        self._host_lock = threading.RLock()
+        self.max_pending = max_pending
+        self._coalesce = coalesce
+        self._closed = False
+        self._loop = None
+        self._queues = {}
+        self._dispatchers = {}
+        self._inflight = {}
+        self._busy = set()
+        self._turnstile = None  # asyncio.Condition, created per loop
+        self.requests_accepted = 0
+        self.requests_served = 0
+        self.requests_coalesced = 0
+        self.requests_rejected = 0
+        self.batches_dispatched = 0
+
+    # ------------------------------------------------------------------
+    # registry surface (synchronous, delegated)
+    # ------------------------------------------------------------------
+
+    @property
+    def host(self):
+        """The synchronous :class:`DCCHost` substrate being served."""
+        return self._host
+
+    def attach(self, name, graph, **overrides):
+        """Register a graph on the underlying host; returns ``self``."""
+        with self._host_lock:
+            self._host.attach(name, graph, **overrides)
+        return self
+
+    def detach(self, name):
+        """Drop a registration (refused while its engine is serving)."""
+        with self._host_lock:
+            self._host.detach(name)
+
+    def is_attached(self, name):
+        return self._host.is_attached(name)
+
+    def graph(self, name):
+        return self._host.graph(name)
+
+    def names(self):
+        return self._host.names()
+
+    # ------------------------------------------------------------------
+    # serving
+    # ------------------------------------------------------------------
+
+    async def search(self, name, d, s, k, method="auto", **options):
+        """One search against the named graph; awaits its result.
+
+        Exactly :meth:`DCCHost.search` semantics — same option surface,
+        same bitwise-determinism contract — behind the queue, the
+        coalescer and the dispatcher.  Raises
+        :class:`~repro.utils.errors.QueueFullError` under backpressure
+        and whatever the engine raises (``WorkerCrashError``,
+        ``StaleResultError``, parameter errors) otherwise.
+        """
+        self._ensure_serving(name)
+        loop = asyncio.get_running_loop()
+        key = _coalesce_key(name, d, s, k, method, options) \
+            if self._coalesce else None
+        if key is not None:
+            primary = self._inflight.get(key)
+            if primary is not None:
+                waiter = loop.create_future()
+                primary.waiters.append(waiter)
+                self.requests_coalesced += 1
+                return await waiter
+        request = _Request((d, s, k, method, options), key,
+                           loop.create_future())
+        queue = self._queue_for(name)
+        try:
+            queue.put_nowait(request)
+        except asyncio.QueueFull:
+            self.requests_rejected += 1
+            raise QueueFullError(name, self.max_pending) from None
+        if key is not None:
+            self._inflight[key] = request
+        self.requests_accepted += 1
+        return await request.future
+
+    async def search_many(self, specs):
+        """Serve a batch of ``{"graph": ..., "d": ..., ...}`` specs.
+
+        The async analogue of :meth:`DCCHost.search_many`: every spec is
+        submitted concurrently (so duplicates coalesce and per-graph
+        groups pipeline) and results come back in input order, each
+        bitwise identical to the corresponding :meth:`search` call.
+        Specs are validated for shape before any of them is enqueued.
+        """
+        parsed = []
+        for number, entry in enumerate(specs, 1):
+            entry = dict(entry)
+            name = entry.pop("graph", None)
+            if name is None:
+                raise ParameterError(
+                    "batch query {} ({!r}) is missing the \"graph\" key "
+                    "naming an attached graph".format(number, entry)
+                )
+            self._ensure_serving(name)
+            try:
+                d = entry.pop("d")
+                s = entry.pop("s")
+                k = entry.pop("k")
+            except KeyError as missing:
+                raise ParameterError(
+                    "batch query {} is missing required key {}".format(
+                        number, missing
+                    )
+                ) from None
+            method = entry.pop("method", "auto")
+            parsed.append((name, d, s, k, method, entry))
+        return await asyncio.gather(*(
+            self.search(name, d, s, k, method=method, **entry)
+            for name, d, s, k, method, entry in parsed
+        ))
+
+    def run_batch(self, specs):
+        """Serve a batch from synchronous code; blocks for the results.
+
+        The bridge ``sweep(..., host=)`` uses: one ``asyncio.run`` per
+        call, with the dispatchers quiesced before the loop closes so
+        the host can be driven again (from the next call, or async).
+        Must not be called while an event loop is already running.
+        """
+        async def _serve_and_quiesce():
+            try:
+                return await self.search_many(specs)
+            finally:
+                await self._quiesce()
+
+        return asyncio.run(_serve_and_quiesce())
+
+    # ------------------------------------------------------------------
+    # dispatcher machinery
+    # ------------------------------------------------------------------
+
+    def _ensure_serving(self, name):
+        if self._closed:
+            raise HostClosedError()
+        if not self._host.is_attached(name):
+            raise UnknownGraphError(name, dict.fromkeys(self._host.names()))
+        self._bind_loop()
+
+    def _bind_loop(self):
+        """Adopt the running loop, or insist on the one already bound.
+
+        Rebinding is only legal when the previous loop is gone (closed):
+        queues, dispatcher tasks and in-flight futures all belong to a
+        loop, and none of them can have survived its close.
+        """
+        loop = asyncio.get_running_loop()
+        if self._loop is loop:
+            return
+        if self._loop is not None and not self._loop.is_closed():
+            raise ParameterError(
+                "this AsyncDCCHost is already serving on another live "
+                "event loop; one loop at a time"
+            )
+        self._loop = loop
+        self._queues = {}
+        self._dispatchers = {}
+        self._inflight = {}
+        self._busy = set()
+        self._turnstile = asyncio.Condition()
+
+    def _queue_for(self, name):
+        queue = self._queues.get(name)
+        if queue is None:
+            queue = asyncio.Queue(maxsize=self.max_pending)
+            self._queues[name] = queue
+            self._dispatchers[name] = self._loop.create_task(
+                self._dispatch(name), name="repro-dispatch-{}".format(name)
+            )
+        return queue
+
+    async def _dispatch(self, name):
+        """One graph's dispatcher: drain, lease, serve, repeat."""
+        queue = self._queues[name]
+        while True:
+            request = await queue.get()
+            if request is _STOP:
+                return
+            batch = [request]
+            while len(batch) < MAX_BATCH and not queue.empty():
+                head = queue.get_nowait()
+                if head is _STOP:
+                    # Serve what was drained first, then exit: a slot is
+                    # free (we just took the sentinel out), so this
+                    # re-enqueue cannot fail.
+                    queue.put_nowait(head)
+                    break
+                batch.append(head)
+            try:
+                async with self._engine_turn(name):
+                    await self._serve_batch(name, batch)
+            except Exception as error:  # pragma: no cover - safety net
+                for pending in batch:
+                    self._resolve_error(pending, error)
+
+    @asynccontextmanager
+    async def _engine_turn(self, name):
+        """Bound concurrently-serving graphs by the host's engine cap.
+
+        At most ``max_engines`` graphs serve at once, so every leased
+        (pinned) session fits inside the resident cap and admission
+        always finds an unpinned victim — the async layer's half of the
+        eviction-safety argument.
+        """
+        turnstile = self._turnstile
+        async with turnstile:
+            await turnstile.wait_for(
+                lambda: len(self._busy) < self._host.max_engines
+            )
+            self._busy.add(name)
+        try:
+            yield
+        finally:
+            async with turnstile:
+                self._busy.discard(name)
+                turnstile.notify_all()
+
+    def _lease(self, name):
+        """Pin + admit on a pool thread; admission can run a freeze."""
+        with self._host_lock:
+            self._host.pin(name)
+            try:
+                return self._host.engine(name)
+            except BaseException:
+                self._host.unpin(name)
+                raise
+
+    def _release(self, name):
+        """Unpin on a pool thread; the shrink-back may close a pool."""
+        with self._host_lock:
+            self._host.unpin(name)
+
+    async def _serve_batch(self, name, batch):
+        """Lease the engine and run one drained batch, pipelined."""
+        loop = asyncio.get_running_loop()
+        self.batches_dispatched += 1
+        engine = await loop.run_in_executor(None, self._lease, name)
+        try:
+            handles = []
+            for request in batch:
+                d, s, k, method, options = request.spec
+                try:
+                    # Plan + shard submission on a pool thread: planning
+                    # runs real preprocessing, and the loop must stay
+                    # responsive to other graphs' clients meanwhile.
+                    handle = await loop.run_in_executor(
+                        None,
+                        partial(engine.submit, d, s, k, method=method,
+                                **options),
+                    )
+                except Exception as error:
+                    self._resolve_error(request, error)
+                    handles.append(None)
+                else:
+                    handles.append(handle)
+            await self._await_shards(handles)
+            for request, handle in zip(batch, handles):
+                if handle is None:
+                    continue
+                try:
+                    result = await loop.run_in_executor(None, handle.collect)
+                except Exception as error:
+                    self._resolve_error(request, error)
+                else:
+                    self._host.searches_served += 1
+                    self._resolve(request, result)
+        finally:
+            # Lease released: the engine is evictable again.
+            await loop.run_in_executor(None, self._release, name)
+
+    @staticmethod
+    async def _await_shards(handles):
+        """Await every in-flight shard future without consuming errors.
+
+        Failures (a worker exception, a crash cancelling siblings) are
+        deliberately *not* raised here — ``handle.collect()`` owns error
+        semantics.  Wrapper exceptions are touched after the wait so the
+        event loop never logs them as unretrieved.
+        """
+        waitables = [future
+                     for handle in handles if handle is not None
+                     for future in handle.waitables()]
+        if not waitables:
+            return
+        wrapped = [asyncio.wrap_future(future) for future in waitables]
+        await asyncio.wait(wrapped)
+        for waiter in wrapped:
+            if not waiter.cancelled():
+                waiter.exception()
+
+    def _resolve(self, request, result):
+        """Deliver a result to the primary and every coalesced waiter."""
+        if request.key is not None:
+            self._inflight.pop(request.key, None)
+        if not request.future.done():
+            request.future.set_result(result)
+        for waiter in request.waiters:
+            if not waiter.done():
+                # A private deep copy per waiter: coalesced clients must
+                # not share mutable result state with each other or the
+                # primary.
+                waiter.set_result(copy.deepcopy(result))
+        self.requests_served += 1 + len(request.waiters)
+
+    def _resolve_error(self, request, error):
+        if request.key is not None:
+            self._inflight.pop(request.key, None)
+        if not request.future.done():
+            request.future.set_exception(error)
+        for waiter in request.waiters:
+            if not waiter.done():
+                waiter.set_exception(error)
+        self.requests_served += 1 + len(request.waiters)
+
+    # ------------------------------------------------------------------
+    # lifecycle / status
+    # ------------------------------------------------------------------
+
+    async def _quiesce(self):
+        """Stop every dispatcher after its queue drains; keep the host.
+
+        The already-accepted requests are all served — the sentinel
+        rides the same queue behind them — so nothing accepted is ever
+        dropped.  Serving resumes lazily on the next request.
+        """
+        dispatchers = list(self._dispatchers.values())
+        for queue in self._queues.values():
+            await queue.put(_STOP)
+        if dispatchers:
+            await asyncio.gather(*dispatchers)
+        self._queues.clear()
+        self._dispatchers.clear()
+        self._inflight.clear()
+
+    async def aclose(self):
+        """Drain and shut down: serve accepted work, close every pool.
+
+        New requests are refused (:class:`HostClosedError`) as soon as
+        this starts; requests already queued are served to completion;
+        then the underlying host closes, shutting down every resident
+        engine's worker pool.  Idempotent.
+        """
+        if self._closed:
+            return
+        # Bind (which may refuse: another live loop owns the host)
+        # *before* flipping the closed flag — a failed aclose must leave
+        # the host drainable, not wedge it half-closed forever.
+        self._bind_loop()
+        self._closed = True
+        await self._quiesce()
+        loop = asyncio.get_running_loop()
+        await loop.run_in_executor(None, self._locked_close)
+
+    def _locked_close(self):
+        with self._host_lock:
+            self._host.close()
+
+    async def __aenter__(self):
+        return self
+
+    async def __aexit__(self, *exc):
+        await self.aclose()
+        return False
+
+    def pending(self):
+        """Requests queued (accepted, not yet dispatched), per graph."""
+        return {name: queue.qsize()
+                for name, queue in self._queues.items() if queue.qsize()}
+
+    def info(self):
+        """Serving-layer counters stacked on the host's own status."""
+        with self._host_lock:
+            host_status = self._host.info()
+        return {
+            "max_pending": self.max_pending,
+            "coalescing": self._coalesce,
+            "requests_accepted": self.requests_accepted,
+            "requests_served": self.requests_served,
+            "requests_coalesced": self.requests_coalesced,
+            "requests_rejected": self.requests_rejected,
+            "batches_dispatched": self.batches_dispatched,
+            "pending": self.pending(),
+            "inflight_keys": len(self._inflight),
+            "dispatchers": tuple(self._dispatchers),
+            "closed": self._closed,
+            "host": host_status,
+        }

@@ -15,6 +15,12 @@ Subcommands
     Run a JSON batch spec spanning *several* graphs through one
     :class:`~repro.host.DCCHost` — named engine sessions admitted
     lazily under a resident-engine cap and optional memory budget.
+``serve``
+    Serve search requests interactively: the spec file declares the
+    graphs, then JSON-lines requests arrive on stdin and responses
+    leave on stdout, flowing through an
+    :class:`~repro.aio.AsyncDCCHost` (concurrent in-flight requests,
+    duplicate coalescing, bounded-queue backpressure).
 ``datasets``
     Print the Fig. 12 stand-in/paper statistics table.
 ``figure``
@@ -258,6 +264,133 @@ def _cmd_host(args):
         )
     )
     return 0
+
+
+def _serve_response(number, request_id, result=None, error=None):
+    """One JSON-lines response object (``ok`` plus payload or error)."""
+    response = {"seq": number}
+    if request_id is not None:
+        response["id"] = request_id
+    if error is not None:
+        response["ok"] = False
+        response["error"] = str(error)
+        response["error_type"] = type(error).__name__
+        return response
+    response["ok"] = True
+    response["algorithm"] = result.algorithm
+    response["sets"] = [sorted(members, key=repr) for members in result.sets]
+    response["labels"] = [list(label) if label is not None else None
+                          for label in result.labels]
+    response["cover"] = result.cover_size
+    response["elapsed_s"] = round(result.elapsed, 6)
+    return response
+
+
+def _cmd_serve(args):
+    """JSON-lines serving loop over an AsyncDCCHost.
+
+    Each stdin line is one request object — a ``search_many`` spec
+    (``graph``/``d``/``s``/``k`` plus options) with an optional ``id``
+    echoed back.  Requests are submitted concurrently as they arrive,
+    so duplicates coalesce and per-graph batches pipeline; responses
+    are written as they complete (use ``id``/``seq`` to correlate —
+    completion order is not arrival order).  EOF drains in-flight work
+    and exits; a summary goes to stderr.
+    """
+    import asyncio
+
+    from repro.aio import AsyncDCCHost
+    from repro.host import parse_host_spec
+    from repro.utils.errors import GraphError
+
+    with open(args.spec) as handle:
+        payload = json.load(handle)
+    try:
+        graphs, preload, settings = parse_host_spec(payload,
+                                                    require_queries=False)
+    except GraphError as error:
+        print("{}: {}".format(args.spec, error), file=sys.stderr)
+        return 2
+    host_options = {"jobs": args.jobs, "backend": args.backend}
+    max_engines = args.max_engines if args.max_engines is not None \
+        else settings.get("max_engines")
+    if max_engines is not None:
+        host_options["max_engines"] = max_engines
+    if settings.get("memory_budget_bytes") is not None:
+        host_options["memory_budget_bytes"] = settings["memory_budget_bytes"]
+    max_pending = args.max_pending if args.max_pending is not None \
+        else settings.get("max_pending")
+    async_options = {}
+    if max_pending is not None:
+        async_options["max_pending"] = max_pending
+
+    async def serve():
+        loop = asyncio.get_running_loop()
+        tasks = set()
+        served = [0, 0]  # ok, failed
+
+        def emit(response):
+            print(json.dumps(response), flush=True)
+
+        async def answer(number, entry):
+            request_id = entry.pop("id", None)
+            try:
+                name = entry.pop("graph")
+                d = entry.pop("d")
+                s = entry.pop("s")
+                k = entry.pop("k")
+                method = entry.pop("method", "auto")
+                result = await host.search(name, d, s, k, method=method,
+                                           **entry)
+            except Exception as error:
+                served[1] += 1
+                emit(_serve_response(number, request_id, error=error))
+            else:
+                served[0] += 1
+                emit(_serve_response(number, request_id, result=result))
+
+        async with AsyncDCCHost(**host_options, **async_options) as host:
+            for name, source in graphs.items():
+                host.attach(name, _load_graph(source, args.scale, args.seed))
+            # Any queries preloaded in the spec file are served first,
+            # concurrently, exactly like stdin requests.
+            number = 0
+            for entry in preload:
+                number += 1
+                tasks.add(asyncio.ensure_future(answer(number, dict(entry))))
+            while True:
+                line = await loop.run_in_executor(None, sys.stdin.readline)
+                if not line:
+                    break  # EOF: drain and exit
+                line = line.strip()
+                if not line:
+                    continue
+                number += 1
+                try:
+                    entry = json.loads(line)
+                    if not isinstance(entry, dict):
+                        raise ValueError("request must be a JSON object")
+                except ValueError as error:
+                    served[1] += 1
+                    emit(_serve_response(number, None, error=error))
+                    continue
+                tasks.add(asyncio.ensure_future(answer(number, entry)))
+                tasks = {task for task in tasks if not task.done()}
+            if tasks:
+                await asyncio.gather(*tasks)
+            status = host.info()
+        print(
+            "serve: {} ok, {} failed over {} graphs | coalesced {} | "
+            "engines admitted {}, evicted {}".format(
+                served[0], served[1], len(graphs),
+                status["requests_coalesced"],
+                status["host"]["admissions"], status["host"]["evictions"],
+            ),
+            file=sys.stderr,
+        )
+        return 0
+
+    return asyncio.run(serve())
 
 
 def _cmd_datasets(args):
@@ -552,6 +685,30 @@ def build_parser():
                       help="global resident-memory budget in bytes "
                            "(overrides the spec file)")
     host.set_defaults(fn=_cmd_host)
+
+    serve = sub.add_parser(
+        "serve", parents=[common],
+        help="serve JSON-lines search requests from stdin through an "
+             "async multi-graph host",
+    )
+    serve.add_argument(
+        "spec",
+        help="JSON file declaring the graphs (host-spec shape; "
+             "\"queries\" optional and served first if present)",
+    )
+    serve.add_argument("--backend", default="auto",
+                       choices=("auto", "dict", "frozen"),
+                       help="engine backend default for every graph")
+    serve.add_argument("--jobs", type=int, default=0,
+                       help="per-engine pool size: 0 = one worker per "
+                            "CPU (default), N = exactly N")
+    serve.add_argument("--max-engines", type=int, default=None,
+                       help="resident engine cap (overrides the spec)")
+    serve.add_argument("--max-pending", type=int, default=None,
+                       help="per-graph request-queue bound; a full queue "
+                            "rejects with QueueFullError (overrides the "
+                            "spec)")
+    serve.set_defaults(fn=_cmd_serve)
 
     datasets = sub.add_parser("datasets", parents=[common],
                               help="print the Fig. 12/13 tables")

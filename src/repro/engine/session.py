@@ -49,7 +49,7 @@ from repro.graph.backend import check_backend, resolve_search_graph
 from repro.graph.frozen import ScratchArena
 from repro.parallel.executor import WorkerPool, check_jobs
 from repro.parallel.plan import make_query
-from repro.parallel.search import execute_query, execute_query_batch
+from repro.parallel.search import execute_query_batch, start_query
 from repro.utils.errors import (
     EngineClosedError,
     ParameterError,
@@ -205,28 +205,33 @@ class DCCEngine:
         (``seed`` for top-down, preprocessing and pruning switches,
         ``stats``) and reports sets in the source graph's vocabulary.
         """
+        return self.submit(d, s, k, method=method, **options).collect()
+
+    def submit(self, d, s, k, method="auto", **options):
+        """Start one search without blocking; a :class:`SearchHandle`.
+
+        The submission half of :meth:`search`: the query is validated,
+        planned (preprocessing runs now, on the caller's thread) and its
+        shard tasks handed to the worker pool — then control returns
+        while workers execute.  ``handle.collect()`` blocks for the
+        results and carries the full :meth:`search` delivery semantics,
+        staleness retry included; ``handle.waitables()`` exposes the
+        in-flight shard futures so an async caller can await completion
+        before collecting.  Handles of one engine must be collected in
+        submission order (the pipelining contract of the pool).
+        """
         self._ensure_current()
         user_stats = options.pop("stats", None)
-        # Collect-time staleness re-check: a mutation landing between
-        # the _ensure_current() check and worker submission would
-        # otherwise serve results from the stale frozen snapshot.  Run,
-        # re-verify, and retry once against the rebound session (the
-        # retry itself re-verifies at submission through _bind's fresh
-        # version snapshot).  Stats are charged to a private object per
-        # attempt so a discarded stale attempt cannot double-charge the
-        # caller's counters.
-        for _ in range(2):
-            query = self._query_for(d, s, k, method, dict(options))
-            with self._arena:
-                result = execute_query(self._graph, query, self._pool,
-                                       stats=SearchStats(),
-                                       artifacts=self._cache)
-            if not self._rebind_if_stale():
-                return self._deliver(result, user_stats)
-        # Mutated during the original attempt *and* its retry: the
-        # never-stale contract forbids delivering either result.  The
-        # session is already rebound, so the caller can simply retry.
-        raise StaleResultError()
+        return SearchHandle(self, (d, s, k, method, options),
+                            self._start(d, s, k, method, options),
+                            user_stats, self._version)
+
+    def _start(self, d, s, k, method, options):
+        """Plan + submit one attempt; a :class:`PendingQuery`."""
+        query = self._query_for(d, s, k, method, dict(options))
+        with self._arena:
+            return start_query(self._graph, query, self._pool,
+                               stats=SearchStats(), artifacts=self._cache)
 
     def search_many(self, queries):
         """Pipeline a batch of query specs through the warm pool.
@@ -345,3 +350,85 @@ class DCCEngine:
             result.stats = user_stats
         self.searches_served += 1
         return result
+
+
+class SearchHandle:
+    """One submitted search; :meth:`collect` finishes it.
+
+    Returned by :meth:`DCCEngine.submit`.  Between submission and
+    collection the shard tasks are in flight on the engine's worker
+    pool; :meth:`waitables` exposes their futures so an async front-end
+    can await completion without parking a thread inside
+    :meth:`collect`.  Collection carries the engine's full delivery
+    semantics — label translation, overhead charging, the collect-time
+    staleness re-check with its single retry (the retry resubmits and
+    blocks, so after awaiting the first attempt's futures a rare
+    concurrent mutation still costs a synchronous re-run rather than a
+    stale answer).
+
+    The handle remembers the bind version it was submitted under.
+    Other engine calls may land between submit and collect (the async
+    dispatcher pipelines submissions) and one of them may *consume* a
+    concurrent mutation by rebinding first — the engine then looks
+    current again, but this handle's attempt still rode the old
+    snapshot and the old (now closed) pool.  Comparing against the
+    remembered version catches that: the attempt is discarded without
+    touching its cancelled futures and the search re-runs against the
+    live bind, so a stale answer is never delivered and a routine
+    rebind is never misread as a worker crash.
+    """
+
+    __slots__ = ("_engine", "_spec", "_pending", "_user_stats",
+                 "_bound_version", "_collected")
+
+    def __init__(self, engine, spec, pending, user_stats, bound_version):
+        self._engine = engine
+        self._spec = spec
+        self._pending = pending
+        self._user_stats = user_stats
+        self._bound_version = bound_version
+        self._collected = False
+
+    def waitables(self):
+        """In-flight shard futures (empty when execution is inline)."""
+        return self._pending.waitables()
+
+    def collect(self):
+        """Block for the results; the search's :class:`DCCSResult`.
+
+        Bitwise identical — sets, labels, counters — to the equivalent
+        :meth:`DCCEngine.search` call.  May be called once.
+        """
+        if self._collected:
+            raise ParameterError(
+                "this SearchHandle has already been collected"
+            )
+        self._collected = True
+        engine = self._engine
+        pending = self._pending
+        bound = self._bound_version
+        for attempt in range(2):
+            if engine._closed:
+                raise EngineClosedError()
+            if engine._version == bound:
+                with engine._arena:
+                    result = pending.finish(engine._pool)
+                # Deliver only if the source never mutated while this
+                # attempt ran: the engine must still be on the attempt's
+                # bind *and* that bind must still match the source.
+                if not engine._rebind_if_stale() and \
+                        engine._version == bound:
+                    return engine._deliver(result, self._user_stats)
+            if attempt == 0:
+                # The attempt's snapshot is dead — either the graph
+                # mutated while it was in flight, or another engine call
+                # already rebound underneath it.  Resubmit against the
+                # current bind and block for the retry.
+                d, s, k, method, options = self._spec
+                engine._ensure_current()
+                pending = engine._start(d, s, k, method, options)
+                bound = engine._version
+        # Mutated during the original attempt *and* its retry: the
+        # never-stale contract forbids delivering either result.  The
+        # session is already rebound, so the caller can simply retry.
+        raise StaleResultError()

@@ -98,9 +98,23 @@ def sweep(graph, parameter, values, base, methods, backend="auto",
     eviction between rows only costs a cold query, never a crash.  The host outlives the sweep — closing it (and its
     pools) stays the caller's job, which is the point: one warm host
     amortises engines across a whole table of dataset rows.
+
+    ``host`` may also be an :class:`repro.aio.AsyncDCCHost`: each
+    point's methods are then served as **one async batch**
+    (:meth:`~repro.aio.AsyncDCCHost.run_batch`), so a point's rows
+    pipeline through the engine and duplicate specs coalesce.  Results
+    are bitwise identical to the synchronous host path — only the
+    serving topology changes.  Per-row times are the engine-measured
+    per-query windows; batch windows overlap, so do not sum them.
+    Closing the async host (``aclose``/``run_batch``'s own drain) stays
+    the caller's job, exactly like the sync host.  Not usable from
+    inside a running event loop.
     """
     own_engine = None
     use_host = engine is None and host is not None
+    async_host = None
+    if use_host and hasattr(host, "run_batch"):
+        async_host, host = host, host.host
     if use_host:
         if graph_name is None:
             graph_name = getattr(graph, "name", "") \
@@ -125,15 +139,46 @@ def sweep(graph, parameter, values, base, methods, backend="auto",
         for value in values:
             point = dict(base)
             point[parameter] = value
-            if use_host:
-                engine = host.engine(graph_name)
-            for row in measure_point(
-                graph, point["d"], point["s"], point["k"], methods,
-                backend=backend, jobs=jobs, engine=engine, **options
-            ):
+            if async_host is not None:
+                point_rows = _async_point(async_host, graph_name, point,
+                                          methods, options)
+            else:
+                if use_host:
+                    engine = host.engine(graph_name)
+                point_rows = measure_point(
+                    graph, point["d"], point["s"], point["k"], methods,
+                    backend=backend, jobs=jobs, engine=engine, **options
+                )
+            for row in point_rows:
                 row[parameter] = value
                 rows.append(row)
     finally:
         if own_engine is not None:
             own_engine.close()
     return rows
+
+
+def _async_point(async_host, graph_name, point, methods, options):
+    """One sweep point served as a single async batch; rows per method.
+
+    Mirrors :func:`measure_point`'s engine path spec-for-spec (same
+    default ``seed=0``, same option forwarding, same warm-pool timer
+    semantics — the engine is admitted and warmed before the timed
+    batch, so rows record amortised per-query latency, not pool spawn)
+    and the recorded rows are bitwise comparable — the methods of the
+    point just travel together through the queues and coalescer instead
+    of one blocking call each.
+    """
+    async_host.host.engine(graph_name).warm()
+    specs = []
+    for method in methods:
+        spec = dict(options, graph=graph_name, d=point["d"], s=point["s"],
+                    k=point["k"], method=method)
+        spec.setdefault("seed", 0)
+        specs.append(spec)
+    results = async_host.run_batch(specs)
+    return [
+        result_row(result, method=method, d=point["d"], s=point["s"],
+                   k=point["k"])
+        for method, result in zip(methods, results)
+    ]

@@ -30,6 +30,7 @@ from array import array
 from bisect import bisect_left
 from collections import OrderedDict
 import sys
+import threading as _threading
 
 from repro.utils.errors import (
     FrozenGraphError,
@@ -709,20 +710,25 @@ class ScratchArena:
         return False
 
 
-_ACTIVE_ARENA = None
+_ACTIVE_ARENA = _threading.local()
 
 
 def activate_scratch(arena):
-    """Install ``arena`` as the ambient scratch arena; returns the old one."""
-    global _ACTIVE_ARENA
-    previous = _ACTIVE_ARENA
-    _ACTIVE_ARENA = arena
+    """Install ``arena`` as the ambient scratch arena; returns the old one.
+
+    The ambient slot is **per thread**: the async serving layer collects
+    searches of different engines on different executor threads, and a
+    process-wide slot would hand one engine's buffers to another
+    mid-peel.  Each thread sees only the arena it activated.
+    """
+    previous = getattr(_ACTIVE_ARENA, "arena", None)
+    _ACTIVE_ARENA.arena = arena
     return previous
 
 
 def active_scratch():
-    """The ambient :class:`ScratchArena`, or ``None``."""
-    return _ACTIVE_ARENA
+    """The calling thread's ambient :class:`ScratchArena`, or ``None``."""
+    return getattr(_ACTIVE_ARENA, "arena", None)
 
 
 # ----------------------------------------------------------------------
@@ -839,7 +845,7 @@ def frozen_layer_core(graph, layer, d, within=None, arena=None):
         raise ParameterError("d must be non-negative, got {}".format(d))
     graph._check_layer(layer)
     if arena is None:
-        arena = _ACTIVE_ARENA
+        arena = active_scratch()
     alive, members = _alive_members(graph, within, arena=arena)
     if d == 0:
         return set(members)
@@ -882,7 +888,7 @@ def frozen_coherent_core(graph, layer_tuple, d, within=None, stats=None,
     for layer in layer_tuple:
         graph._check_layer(layer)
     if arena is None:
-        arena = _ACTIVE_ARENA
+        arena = active_scratch()
     alive, members = _alive_members(graph, within, arena=arena)
     if d == 0:
         return frozenset(members)

@@ -41,6 +41,7 @@ substrate the planned async front-end will wrap.
 """
 
 from collections import OrderedDict
+from contextlib import contextmanager
 
 from repro.engine import DCCEngine
 from repro.graph.backend import check_backend
@@ -138,6 +139,7 @@ class DCCHost:
         self._cache_ttl = cache_ttl
         self._registry = OrderedDict()
         self._resident = OrderedDict()  # name -> DCCEngine, LRU order
+        self._pins = {}  # name -> lease count; pinned sessions never evict
         self._closed = False
         self.admissions = 0
         self.evictions = 0
@@ -186,6 +188,11 @@ class DCCHost:
         self._check_open()
         if name not in self._registry:
             raise UnknownGraphError(name, self._registry)
+        if self._pins.get(name):
+            raise ParameterError(
+                "graph {!r} is pinned (its session is serving); detach "
+                "after the lease is released".format(name)
+            )
         if name in self._resident:
             self._evict(name)
         del self._registry[name]
@@ -227,9 +234,18 @@ class DCCHost:
             self._resident.move_to_end(name)
             return engine
         # Admission: make room first, so the resident count never
-        # transiently exceeds the cap (pools are processes).
+        # transiently exceeds the cap (pools are processes).  Pinned
+        # sessions are skipped — evicting one would close a pool with
+        # requests in flight.  If *every* resident session is pinned the
+        # cap is transiently exceeded instead (sync callers never pin,
+        # and the async front-end bounds concurrently-leased graphs by
+        # this same cap, so overshoot is at most one session and
+        # :meth:`unpin` shrinks back).
         while len(self._resident) >= self.max_engines:
-            self._evict(next(iter(self._resident)))
+            victim = self._eviction_candidate()
+            if victim is None:
+                break
+            self._evict(victim)
         engine = DCCEngine(
             registration.graph,
             backend=registration.backend,
@@ -243,6 +259,17 @@ class DCCHost:
         self._enforce_budget(keep=name)
         return engine
 
+    def _eviction_candidate(self, keep=None):
+        """The LRU resident session that may be evicted, or ``None``.
+
+        Pinned sessions (and ``keep``) are never candidates: a pin marks
+        an engine with requests in flight, and eviction *closes* pools.
+        """
+        for name in self._resident:
+            if name != keep and not self._pins.get(name):
+                return name
+        return None
+
     def _evict(self, name):
         """Close and drop one resident session; its registration stays."""
         engine = self._resident.pop(name)
@@ -254,17 +281,76 @@ class DCCHost:
 
         ``keep`` (the session just admitted or touched) is never the
         victim: evicting the engine about to serve would thrash.  With
-        only ``keep`` left the loop stops — the budget is best-effort
-        for a single oversized graph.
+        only ``keep`` (or only pinned sessions) left the loop stops —
+        the budget is best-effort for a single oversized graph.
         """
         if self.memory_budget_bytes is None:
             return
         while len(self._resident) > 1 and \
                 self.memory_bytes() > self.memory_budget_bytes:
-            victim = next(
-                name for name in self._resident if name != keep
-            )
+            victim = self._eviction_candidate(keep=keep)
+            if victim is None:
+                break
             self._evict(victim)
+
+    # ------------------------------------------------------------------
+    # pinning (the async front-end's eviction guard)
+    # ------------------------------------------------------------------
+
+    def pin(self, name):
+        """Exempt ``name``'s session from eviction until :meth:`unpin`.
+
+        Pins are counted leases on the *name* (pinning does not admit;
+        combine with :meth:`engine`, or use :meth:`lease` which does
+        both in the right order).  A pinned session is never an eviction
+        victim — the guard the async front-end relies on so admitting
+        graph B cannot close graph A's pool while A still has shard
+        futures in flight.
+        """
+        self._check_open()
+        if name not in self._registry:
+            raise UnknownGraphError(name, self._registry)
+        self._pins[name] = self._pins.get(name, 0) + 1
+
+    def unpin(self, name):
+        """Release one pin; on the last release, re-enforce the cap."""
+        count = self._pins.get(name, 0)
+        if count <= 0:
+            raise ParameterError(
+                "graph {!r} is not pinned".format(name)
+            )
+        if count == 1:
+            del self._pins[name]
+            # Pay back any overshoot admission ran up while every
+            # resident session was pinned.
+            while len(self._resident) > self.max_engines:
+                victim = self._eviction_candidate()
+                if victim is None:
+                    break
+                self._evict(victim)
+        else:
+            self._pins[name] = count - 1
+
+    @contextmanager
+    def lease(self, name):
+        """Pin ``name``, admit its engine, yield it, unpin on exit.
+
+        The serving idiom for callers that must hold an engine across
+        other host activity (the async dispatchers)::
+
+            with host.lease("wiki") as engine:
+                handle = engine.submit(d=2, s=2, k=4)
+                ...  # other graphs may be admitted meanwhile
+
+        The pin lands *before* admission so a concurrent admission
+        cannot evict the session between :meth:`engine` returning and
+        the caller using it.
+        """
+        self.pin(name)
+        try:
+            yield self.engine(name)
+        finally:
+            self.unpin(name)
 
     def resident(self):
         """Names of resident sessions, least recently used first."""
@@ -373,6 +459,7 @@ class DCCHost:
             "attached": len(self._registry),
             "attached_names": tuple(self._registry),
             "resident_engines": tuple(self._resident),
+            "pinned": tuple(sorted(self._pins)),
             "max_engines": self.max_engines,
             "memory_budget_bytes": self.memory_budget_bytes,
             "memory_bytes": self.memory_bytes(),

@@ -18,9 +18,11 @@ run as one JSON document::
 ``graphs`` maps host-local names to graph *sources* (dataset names,
 ``figure1``, or graph-file paths — whatever the caller's loader
 accepts); ``queries`` is a list of :meth:`DCCHost.search_many` specs,
-each naming its graph.  Optional top-level ``max_engines`` and
-``memory_budget_bytes`` feed the host's admission control; command-line
-flags override them.
+each naming its graph.  Optional top-level ``max_engines``,
+``memory_budget_bytes`` and ``max_pending`` feed admission control and
+the async layer's backpressure; command-line flags override them.
+``repro serve`` reuses the same document shape with ``queries``
+optional (``require_queries=False``).
 
 :func:`parse_host_spec` only validates shape and cross-references — it
 never loads graphs, so it stays importable and testable without any
@@ -37,7 +39,7 @@ def _require(condition, message):
         raise ParameterError(message)
 
 
-def parse_host_spec(payload):
+def parse_host_spec(payload, require_queries=True):
     """Validate a host batch-spec document.
 
     Returns ``(graphs, queries, settings)``: an ordered ``name ->
@@ -46,6 +48,10 @@ def parse_host_spec(payload):
     top-level admission-control knobs.  Raises
     :class:`~repro.utils.errors.ParameterError` on any shape problem,
     including a query naming a graph the spec never declares.
+
+    ``require_queries=False`` admits a spec with no ``"queries"`` list —
+    the ``repro serve`` shape, where the document only declares graphs
+    and settings and the queries arrive later, one JSON line at a time.
     """
     _require(isinstance(payload, dict),
              "host spec must be a JSON object, got {!r}".format(
@@ -64,7 +70,10 @@ def parse_host_spec(payload):
                  "{!r}".format(name, source))
         graphs[name] = source
     queries_field = payload.get("queries")
-    _require(isinstance(queries_field, list) and queries_field,
+    if queries_field is None and not require_queries:
+        queries_field = []
+    _require(isinstance(queries_field, list) and
+             (queries_field or not require_queries),
              "host spec needs a non-empty \"queries\" list")
     queries = []
     for number, entry in enumerate(queries_field, 1):
@@ -83,7 +92,7 @@ def parse_host_spec(payload):
                          number, key))
         queries.append(entry)
     settings = {}
-    for key in ("max_engines", "memory_budget_bytes"):
+    for key in ("max_engines", "memory_budget_bytes", "max_pending"):
         if payload.get(key) is not None:
             settings[key] = payload[key]
     return graphs, queries, settings

@@ -37,12 +37,14 @@ from repro.parallel.executor import (
 )
 from repro.parallel.plan import Query, make_query, plan_query
 from repro.parallel.search import (
+    PendingQuery,
     execute_query,
     execute_query_batch,
     parallel_bu_dccs,
     parallel_dccs,
     parallel_gd_dccs,
     parallel_td_dccs,
+    start_query,
 )
 from repro.parallel.serialize import graph_payload, payload_graph
 from repro.parallel.worker import QueryRunnerCache, ShardRunner, shard_seed
@@ -54,6 +56,8 @@ __all__ = [
     "parallel_td_dccs",
     "execute_query",
     "execute_query_batch",
+    "start_query",
+    "PendingQuery",
     "check_jobs",
     "effective_jobs",
     "live_pool_count",

@@ -18,7 +18,7 @@ what makes ``jobs=4`` bitwise identical to ``jobs=1``.
 
 import os
 import weakref
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import CancelledError, ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 
 from repro.parallel.serialize import graph_payload
@@ -28,7 +28,7 @@ from repro.parallel.worker import (
     ping_worker,
     run_query_shard,
 )
-from repro.utils.errors import ParameterError
+from repro.utils.errors import ParameterError, WorkerCrashError
 
 # A hard ceiling on pool size: beyond this, per-process interpreter and
 # graph-deserialization overhead dominates any conceivable win.
@@ -103,6 +103,10 @@ class _InlineHandle:
         self._tasks = tasks
         self._plan = plan
 
+    def waitables(self):
+        """No futures to wait on: the work happens inside collect()."""
+        return ()
+
     def collect(self):
         return self._pool._run_inline(self._query, self._tasks, self._plan)
 
@@ -117,6 +121,15 @@ class _PoolHandle:
         self._plan = plan
         self._futures = futures
 
+    def waitables(self):
+        """The in-flight shard futures, for callers that await completion.
+
+        An async front-end awaits these (``asyncio.wrap_future``) before
+        calling :meth:`collect`, so collection never blocks a thread on
+        worker execution — only on the final sort/merge.
+        """
+        return tuple(self._futures)
+
     def collect(self):
         results = []
         try:
@@ -124,17 +137,23 @@ class _PoolHandle:
             # here — it propagates from future.result() as itself.
             for future in self._futures:
                 results.append(future.result())
-        except _SPAWN_ERRORS:
-            if results:
+        except CancelledError as error:
+            # Futures are only ever cancelled by a pool reset — another
+            # in-flight handle of the same pool observed a crash first.
+            self._pool._crash(error)
+        except _SPAWN_ERRORS as error:
+            if results or self._pool._ever_ran:
                 # The pool worked and then died mid-run (a worker was
                 # OOM-killed, segfaulted, ...).  That is a real failure
                 # to surface, not an environment that cannot fork —
                 # silently rerunning everything inline would only mask
-                # it.
-                raise
+                # it.  _crash resets the pool (the next query respawns)
+                # and raises the typed error.
+                self._pool._crash(error)
             self._pool._mark_broken()
             return self._pool._run_inline(self._query, self._tasks,
                                           self._plan)
+        self._pool._ever_ran = True
         results.sort(key=lambda item: item[0])
         return results
 
@@ -176,9 +195,11 @@ class WorkerPool:
         self._finalizer = None
         self._broken = False
         self._closed = False
+        self._ever_ran = False
         self._inline = QueryRunnerCache(graph)
         self.queries_served = 0
         self.tasks_executed = 0
+        self.crashes = 0
         _LIVE_POOLS.add(self)
 
     # ------------------------------------------------------------------
@@ -199,6 +220,17 @@ class WorkerPool:
     def inline_fallback(self):
         """Whether spawning failed and queries degrade to inline runs."""
         return self._broken
+
+    def worker_pids(self):
+        """PIDs of the live worker processes (empty when not spawned).
+
+        Monitoring surface, and the hook fault-injection tests use to
+        kill a worker mid-search.
+        """
+        if self._pool is None:
+            return ()
+        processes = getattr(self._pool, "_processes", None)
+        return tuple(processes) if processes else ()
 
     def warm(self):
         """Spawn and touch every worker now, returning success.
@@ -221,6 +253,7 @@ class WorkerPool:
         except _SPAWN_ERRORS:
             self._mark_broken()
             return False
+        self._ever_ran = True
         return True
 
     def close(self):
@@ -261,6 +294,21 @@ class WorkerPool:
         self._broken = True
         self._shutdown_pool()
 
+    def _crash(self, cause):
+        """Reset after a mid-run worker death and surface the typed error.
+
+        Unlike :meth:`_mark_broken` (an environment that cannot spawn at
+        all, degrading permanently to inline runs), a crash resets the
+        executor but leaves the pool *armed*: the next query respawns
+        fresh worker processes from the same graph payload.  Every other
+        in-flight handle of this pool sees its futures cancelled and
+        funnels back here, so one crash yields one consistent error type
+        across the whole pipeline.
+        """
+        self.crashes += 1
+        self._shutdown_pool()
+        raise WorkerCrashError(cause)
+
     def _shutdown_pool(self):
         finalizer, self._finalizer = self._finalizer, None
         pool, self._pool = self._pool, None
@@ -296,7 +344,11 @@ class WorkerPool:
             # as OSError or a broken pool here, not in the constructor.
             futures = [pool.submit(run_query_shard, (query, task))
                        for task in tasks]
-        except _SPAWN_ERRORS:
+        except _SPAWN_ERRORS as error:
+            if self._ever_ran:
+                # This pool has executed work before, so the processes
+                # died under it — a crash, not a spawn-incapable host.
+                self._crash(error)
             self._mark_broken()
             return _InlineHandle(self, query, tasks, plan)
         return _PoolHandle(self, query, tasks, plan, futures)

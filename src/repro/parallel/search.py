@@ -92,6 +92,67 @@ def _finish(graph, query, plan, results, stats):
     return result_from_topk(topk, query.method, (d, s, k), stats, 0.0)
 
 
+class PendingQuery:
+    """One planned-and-submitted query awaiting collection.
+
+    The future-style handle the submission/collection split hands out:
+    :func:`start_query` plans a query and submits its shard tasks
+    without blocking; :meth:`finish` blocks for the results and merges
+    them.  Between the two, :meth:`waitables` exposes the in-flight
+    shard futures so an async caller can await completion first and pay
+    only the merge inside :meth:`finish` — no thread parked on worker
+    execution.
+    """
+
+    __slots__ = ("graph", "query", "plan", "handle", "stats", "planned")
+
+    def __init__(self, graph, query, plan, handle, stats, planned):
+        self.graph = graph
+        self.query = query
+        self.plan = plan
+        self.handle = handle
+        self.stats = stats
+        self.planned = planned
+
+    def waitables(self):
+        """The in-flight shard futures (empty for inline execution)."""
+        return () if self.handle is None else self.handle.waitables()
+
+    def finish(self, pool):
+        """Collect and merge; the query's :class:`DCCSResult`.
+
+        ``elapsed`` spans the plan phase plus this collect-and-merge
+        phase — for back-to-back start/finish that is the classic
+        one-shot window; in a pipelined batch the windows of different
+        queries overlap, which is the point of a batch.
+        """
+        with Timer() as merge_timer:
+            results = pool.collect(self.handle) \
+                if self.handle is not None else []
+            result = _finish(self.graph, self.query, self.plan, results,
+                             self.stats)
+        result.elapsed = self.planned + merge_timer.elapsed
+        return result
+
+
+def start_query(graph, query, pool, stats=None, artifacts=None):
+    """Plan one query and submit its shards; a :class:`PendingQuery`.
+
+    Submission does not block on execution — workers start chewing while
+    the caller plans the next query (pipelining) or awaits the handle's
+    :meth:`~PendingQuery.waitables` (the async front-end).
+    """
+    if stats is None:
+        stats = SearchStats()
+    with Timer() as plan_timer:
+        plan = plan_query(graph, query, workers=pool.workers, stats=stats,
+                          artifacts=artifacts)
+        handle = pool.submit_query(query, plan.tasks, plan) \
+            if plan.tasks else None
+    return PendingQuery(graph, query, plan, handle, stats,
+                        plan_timer.elapsed)
+
+
 def execute_query(graph, query, pool, stats=None, artifacts=None):
     """Run one :class:`~repro.parallel.plan.Query` through ``pool``.
 
@@ -100,16 +161,8 @@ def execute_query(graph, query, pool, stats=None, artifacts=None):
     result — counters included — is bitwise identical, the cache only
     swaps recomputation for replay.
     """
-    if stats is None:
-        stats = SearchStats()
-    with Timer() as timer:
-        plan = plan_query(graph, query, workers=pool.workers, stats=stats,
-                          artifacts=artifacts)
-        results = pool.map_query(query, plan.tasks, plan) if plan.tasks \
-            else []
-        result = _finish(graph, query, plan, results, stats)
-    result.elapsed = timer.elapsed
-    return result
+    return start_query(graph, query, pool, stats=stats,
+                       artifacts=artifacts).finish(pool)
 
 
 def execute_query_batch(graph, queries, pool, artifacts=None):
@@ -119,27 +172,11 @@ def execute_query_batch(graph, queries, pool, artifacts=None):
     results are collected, so workers chew query ``i``'s shards while
     the orchestrator preprocesses query ``i+1`` — and merging happens in
     submission order, keeping each result bitwise identical to its
-    :func:`execute_query` equivalent.  Per-result ``elapsed`` spans that
-    query's plan phase plus its collect-and-merge phase; the windows of
-    different queries overlap, which is the point of a batch.
+    :func:`execute_query` equivalent.
     """
-    staged = []
-    for query in queries:
-        stats = SearchStats()
-        with Timer() as plan_timer:
-            plan = plan_query(graph, query, workers=pool.workers,
-                              stats=stats, artifacts=artifacts)
-            handle = pool.submit_query(query, plan.tasks, plan) \
-                if plan.tasks else None
-        staged.append((query, plan, handle, stats, plan_timer.elapsed))
-    out = []
-    for query, plan, handle, stats, planned in staged:
-        with Timer() as merge_timer:
-            results = pool.collect(handle) if handle is not None else []
-            result = _finish(graph, query, plan, results, stats)
-        result.elapsed = planned + merge_timer.elapsed
-        out.append(result)
-    return out
+    staged = [start_query(graph, query, pool, artifacts=artifacts)
+              for query in queries]
+    return [pending.finish(pool) for pending in staged]
 
 
 def parallel_gd_dccs(graph, d, s, k, jobs=1, use_vertex_deletion=True,

@@ -82,6 +82,59 @@ class StaleResultError(GraphError, RuntimeError):
         )
 
 
+class WorkerCrashError(GraphError, RuntimeError):
+    """Raised when a worker process dies while serving a search.
+
+    A pool whose processes have demonstrably worked (a successful warm
+    or a completed query) losing one mid-run is a real fault — an OOM
+    kill, a segfault, an operator signal — not an environment that
+    cannot fork, so the failure is surfaced instead of silently rerun
+    inline.  The pool has already been reset when this propagates: the
+    next query respawns worker processes from the same graph payload, so
+    retrying the search is safe and returns correct results.
+    """
+
+    def __init__(self, cause=None):
+        super().__init__(cause)
+        self.cause = cause
+
+    def __str__(self):
+        detail = ""
+        if self.cause is not None:
+            detail = " ({}: {})".format(
+                type(self.cause).__name__, self.cause
+            )
+        return (
+            "a worker process died while serving this search{}; the pool "
+            "has been reset and will respawn on the next query — retry "
+            "the search".format(detail)
+        )
+
+
+class QueueFullError(GraphError, RuntimeError):
+    """Raised when an async host's per-graph request queue is full.
+
+    Backpressure, surfaced as an error rather than an unbounded buffer:
+    the caller sheds load (or retries later) instead of the host
+    accumulating requests without limit.  Coalesced duplicates of an
+    in-flight spec never occupy a queue slot, so duplicate-heavy bursts
+    are absorbed before this fires.
+    """
+
+    def __init__(self, graph, max_pending):
+        super().__init__(graph)
+        self.graph = graph
+        self.max_pending = max_pending
+
+    def __str__(self):
+        return (
+            "the request queue for graph {!r} is full ({} pending); "
+            "retry once in-flight requests drain".format(
+                self.graph, self.max_pending
+            )
+        )
+
+
 class HostClosedError(GraphError, RuntimeError):
     """Raised when an operation is attempted on a closed :class:`DCCHost`."""
 

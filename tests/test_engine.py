@@ -343,6 +343,34 @@ class TestInvalidation:
                 if not graph.has_edge(0, u, v):
                     graph.add_edge(0, u, v)
 
+    @staticmethod
+    def _racy_start(real_start, on_finish):
+        """A ``start_query`` wrapper firing ``on_finish`` after execution.
+
+        The writer-lands-mid-flight injection point: the wrapped
+        pending's ``finish`` completes the real collection first, then
+        runs the mutation — exactly the window between worker execution
+        and the engine's collect-time staleness re-check.
+        """
+
+        class RacyPending:
+            def __init__(self, pending):
+                self._pending = pending
+
+            def waitables(self):
+                return self._pending.waitables()
+
+            def finish(self, pool):
+                result = self._pending.finish(pool)
+                on_finish()
+                return result
+
+        def start(graph, query, pool, stats=None, artifacts=None):
+            return RacyPending(real_start(graph, query, pool, stats=stats,
+                                          artifacts=artifacts))
+
+        return start
+
     def test_mutation_mid_search_retries_on_fresh_snapshot(self,
                                                            monkeypatch):
         # Regression for the check-then-act race: mutation_version is
@@ -353,18 +381,17 @@ class TestInvalidation:
         from repro.engine import session as session_module
 
         graph = self._ring()
-        real = session_module.execute_query
         fired = []
 
-        def racy(search_graph, query, pool, stats=None, artifacts=None):
-            result = real(search_graph, query, pool, stats=stats,
-                          artifacts=artifacts)
+        def writer():
             if not fired:
                 fired.append(True)
                 self._densify_corner(graph)  # the writer lands mid-flight
-            return result
 
-        monkeypatch.setattr(session_module, "execute_query", racy)
+        monkeypatch.setattr(
+            session_module, "start_query",
+            self._racy_start(session_module.start_query, writer),
+        )
         with DCCEngine(graph, jobs=1) as engine:
             served = engine.search(3, 1, 1)
             assert engine.invalidations == 1
@@ -407,22 +434,19 @@ class TestInvalidation:
         from repro.utils.errors import StaleResultError
 
         graph = self._ring()
-        real = session_module.execute_query
+        real = session_module.start_query
 
-        def always_racy(search_graph, query, pool, stats=None,
-                        artifacts=None):
-            result = real(search_graph, query, pool, stats=stats,
-                          artifacts=artifacts)
+        def writer():
             graph.add_edge(0, 0, graph.mutation_version % 5 + 2)
-            return result
 
-        monkeypatch.setattr(session_module, "execute_query", always_racy)
+        monkeypatch.setattr(session_module, "start_query",
+                            self._racy_start(real, writer))
         with DCCEngine(graph, jobs=1) as engine:
             with pytest.raises(StaleResultError):
                 engine.search(2, 1, 2)
             assert engine.invalidations == 2
             # The writer quiesces: the rebound session serves normally.
-            monkeypatch.setattr(session_module, "execute_query", real)
+            monkeypatch.setattr(session_module, "start_query", real)
             served = engine.search(2, 1, 2)
         assert_identical(served, search_dccs(graph, 2, 1, 2, jobs=1))
 
@@ -432,18 +456,17 @@ class TestInvalidation:
         from repro.engine import session as session_module
 
         graph = self._ring()
-        real = session_module.execute_query
         fired = []
 
-        def racy(search_graph, query, pool, stats=None, artifacts=None):
-            result = real(search_graph, query, pool, stats=stats,
-                          artifacts=artifacts)
+        def writer():
             if not fired:
                 fired.append(True)
                 self._densify_corner(graph)
-            return result
 
-        monkeypatch.setattr(session_module, "execute_query", racy)
+        monkeypatch.setattr(
+            session_module, "start_query",
+            self._racy_start(session_module.start_query, writer),
+        )
         with DCCEngine(graph, jobs=1) as engine:
             mine = SearchStats()
             served = engine.search(3, 1, 1, stats=mine)
@@ -452,6 +475,42 @@ class TestInvalidation:
         # Only the delivered (post-rebind) attempt may charge the
         # caller's accumulator — the discarded stale attempt is free.
         assert mine.as_dict() == fresh.stats.as_dict()
+
+    def test_handle_not_stale_when_another_call_consumed_the_rebind(self):
+        # A submitted handle's staleness signal can be *consumed* by a
+        # later engine call: submit A, mutate, then a second search
+        # rebinds the session before A is collected.  A's attempt rode
+        # the dead snapshot, so collect must discard it and re-run
+        # against the live bind — not deliver the stale answer the
+        # now-current version check would otherwise wave through.
+        graph = self._ring()
+        with DCCEngine(graph, jobs=1) as engine:
+            handle = engine.submit(3, 1, 1)
+            self._densify_corner(graph)
+            interposed = engine.search(2, 1, 2)  # rebinds, consumes signal
+            assert engine.invalidations == 1
+            served = handle.collect()
+        assert served.sets != []  # the stale snapshot would report []
+        assert_identical(served, search_dccs(graph, 3, 1, 1, jobs=1))
+        assert_identical(interposed, search_dccs(graph, 2, 1, 2, jobs=1))
+
+    def test_consumed_rebind_with_real_pool_is_not_a_worker_crash(self):
+        # Pooled variant: the intervening rebind closes the pool the
+        # handle's shard futures live on (cancelling them).  Collect
+        # must recognise its bind is gone and re-run — a routine
+        # mutation must never surface as WorkerCrashError or count as a
+        # crash.
+        graph = self._ring(n=10)
+        with DCCEngine(graph, jobs=2) as engine:
+            engine.warm()
+            handle = engine.submit(2, 1, 2, method="greedy")
+            self._densify_corner(graph)
+            engine.search(3, 1, 1)  # rebinds: old pool closed
+            served = handle.collect()
+            assert engine._pool.crashes == 0
+        assert_identical(served,
+                         search_dccs(graph, 2, 1, 2, method="greedy",
+                                     jobs=1))
 
     def test_mutation_version_counter(self):
         graph = self._ring()

@@ -1,0 +1,224 @@
+"""Fault-injection suite: worker processes dying under the stack.
+
+The contract under test, layer by layer:
+
+1. **pool** — a worker killed under a spawned :class:`WorkerPool`
+   surfaces :class:`WorkerCrashError` (typed, never a hang and never a
+   silent inline rerun), the executor is reset, and the next query
+   respawns fresh workers and returns correct results;
+2. **engine / host / async front-end** — the typed error propagates to
+   exactly the affected request, the session stays usable, and
+   subsequent queries return results bitwise identical to a healthy
+   run;
+3. **spawn-incapable environments keep their legacy behavior** — a pool
+   that never ran degrades to inline execution silently (that is an
+   environment property, not a fault).
+
+Every test kills real forked processes with SIGKILL, which is the
+closest stand-in for the OOM killer the serving layer will actually
+meet.
+"""
+
+import os
+import signal
+import time
+
+import pytest
+
+from repro.core import search_dccs
+from repro.engine import DCCEngine
+from repro.graph import MultiLayerGraph, paper_figure1_graph
+from repro.host import DCCHost
+from repro.parallel import live_pool_count
+from repro.parallel.executor import WorkerPool
+from repro.parallel.plan import make_query, plan_query
+from repro.utils.errors import WorkerCrashError
+
+
+def assert_identical(first, second, context=""):
+    assert first.sets == second.sets, context
+    assert first.labels == second.labels, context
+    assert first.stats.as_dict() == second.stats.as_dict(), context
+
+
+def kill_one_worker(pool):
+    """SIGKILL one live worker process and wait for the executor's
+    management thread to notice the corpse (its ``_broken`` flag), so
+    the next submit/collect deterministically sees the fault."""
+    pids = pool.worker_pids()
+    assert pids, "pool has no live workers to kill"
+    os.kill(pids[0], signal.SIGKILL)
+    executor = pool._pool
+    deadline = time.time() + 5.0
+    while time.time() < deadline:
+        if getattr(executor, "_broken", True):
+            break
+        time.sleep(0.01)
+    time.sleep(0.05)
+
+
+class TestPoolCrash:
+    def test_killed_worker_surfaces_typed_error_and_respawns(self):
+        graph = paper_figure1_graph().freeze()
+        query = make_query("greedy", 2, 2, 3)
+        with WorkerPool(graph, jobs=2) as pool:
+            plan = plan_query(graph, query, workers=pool.workers)
+            assert pool.warm() is True
+            healthy = pool.map_query(query, plan.tasks, plan)
+            kill_one_worker(pool)
+            with pytest.raises(WorkerCrashError):
+                pool.map_query(query, plan.tasks, plan)
+            assert pool.crashes == 1
+            # The crash reset, rather than broke, the pool: the next
+            # query spawns fresh workers and matches the healthy run.
+            assert pool.spawned is False
+            assert pool.inline_fallback is False
+            respawned = pool.map_query(query, plan.tasks, plan)
+            assert pool.spawned is True
+            assert respawned == healthy
+
+    def test_crash_error_reports_its_cause(self):
+        graph = paper_figure1_graph().freeze()
+        query = make_query("greedy", 2, 2, 3)
+        with WorkerPool(graph, jobs=2) as pool:
+            plan = plan_query(graph, query, workers=pool.workers)
+            assert pool.warm() is True
+            kill_one_worker(pool)
+            with pytest.raises(WorkerCrashError) as crashed:
+                pool.map_query(query, plan.tasks, plan)
+        assert crashed.value.cause is not None
+        assert "respawn" in str(crashed.value)
+
+    def test_spawn_incapable_pool_keeps_inline_fallback(self, monkeypatch):
+        # Legacy contract: an environment that cannot fork at all (the
+        # pool never ran) silently degrades to inline execution — no
+        # WorkerCrashError, because nothing crashed.
+        from repro.parallel import executor as executor_module
+
+        class BrokenPool:
+            def __init__(self, *args, **kwargs):
+                pass
+
+            def submit(self, *args, **kwargs):
+                raise OSError("fork denied")
+
+        monkeypatch.setattr(executor_module, "ProcessPoolExecutor",
+                            BrokenPool)
+        graph = paper_figure1_graph().freeze()
+        query = make_query("greedy", 2, 2, 3)
+        with WorkerPool(graph, jobs=4) as pool:
+            plan = plan_query(graph, query, workers=pool.workers)
+            results = pool.map_query(query, plan.tasks, plan)
+            assert pool.inline_fallback is True
+            assert pool.crashes == 0
+        assert len(results) == len(plan.tasks)
+
+
+class TestEngineCrash:
+    def test_engine_surfaces_error_then_recovers(self):
+        graph = paper_figure1_graph()
+        with DCCEngine(graph, jobs=2) as engine:
+            assert engine.warm() is True
+            healthy = engine.search(3, 2, 2, method="greedy")
+            kill_one_worker(engine._pool)
+            with pytest.raises(WorkerCrashError):
+                engine.search(3, 2, 2, method="greedy")
+            # Same engine, next query: respawned pool, correct results,
+            # honest accounting.
+            recovered = engine.search(3, 2, 2, method="greedy")
+            assert engine._pool.crashes == 1
+            assert engine.info()["pool_spawned"] is True
+        assert_identical(recovered, healthy)
+        assert_identical(
+            recovered,
+            search_dccs(graph, 3, 2, 2, method="greedy", jobs=1),
+        )
+
+    @pytest.mark.slow
+    def test_mid_search_kill_does_not_hang(self):
+        # Kill while shard futures are genuinely in flight.  Whatever
+        # the interleaving, the call must return promptly — either the
+        # typed crash error or (if every shard finished first) the
+        # correct result; it must never wedge on a dead process.  The
+        # recovery search follows the error's own advice and retries
+        # once: when the kill lands after the shards completed, it is
+        # the *next* submission that finds the corpse.
+        graph = paper_figure1_graph()
+        with DCCEngine(graph, jobs=2) as engine:
+            assert engine.warm() is True
+            baseline = engine.search(3, 2, 2, method="greedy")
+            handle = engine.submit(3, 3, 2, method="greedy")
+            kill_one_worker(engine._pool)
+            try:
+                result = handle.collect()
+            except WorkerCrashError:
+                pass
+            else:
+                assert_identical(
+                    result,
+                    search_dccs(graph, 3, 3, 2, method="greedy", jobs=1),
+                )
+            try:
+                recovered = engine.search(3, 2, 2, method="greedy")
+            except WorkerCrashError:
+                recovered = engine.search(3, 2, 2, method="greedy")
+        assert_identical(recovered, baseline)
+
+
+class TestHostCrash:
+    def test_host_session_survives_a_crash(self):
+        graphs = {"fig": paper_figure1_graph()}
+        with DCCHost(jobs=2) as host:
+            host.attach("fig", graphs["fig"])
+            healthy = host.search("fig", 3, 2, 2, method="greedy")
+            host.engine("fig").warm()
+            kill_one_worker(host.engine("fig")._pool)
+            with pytest.raises(WorkerCrashError):
+                host.search("fig", 2, 2, 2, method="greedy")
+            recovered = host.search("fig", 3, 2, 2, method="greedy")
+            served_after = host.search("fig", 2, 2, 2, method="greedy")
+        assert_identical(recovered, healthy)
+        assert_identical(
+            served_after,
+            search_dccs(graphs["fig"], 2, 2, 2, method="greedy", jobs=1),
+        )
+
+    def test_async_host_fails_one_request_not_the_service(self):
+        import asyncio
+
+        from repro.aio import AsyncDCCHost
+
+        graph = paper_figure1_graph()
+        pools_before = live_pool_count()
+
+        async def serve():
+            async with AsyncDCCHost(jobs=2) as host:
+                host.attach("fig", graph)
+                healthy = await host.search("fig", 3, 2, 2,
+                                            method="greedy")
+                engine = host.host.engine("fig")
+                engine.warm()
+                kill_one_worker(engine._pool)
+                with pytest.raises(WorkerCrashError):
+                    await host.search("fig", 2, 2, 2, method="greedy")
+                recovered = await host.search("fig", 3, 2, 2,
+                                              method="greedy")
+                return healthy, recovered
+
+        healthy, recovered = asyncio.run(serve())
+        assert_identical(recovered, healthy)
+        assert live_pool_count() == pools_before
+
+    @pytest.mark.stress
+    def test_repeated_crashes_keep_recovering(self):
+        graph = paper_figure1_graph()
+        with DCCEngine(graph, jobs=2) as engine:
+            baseline = engine.search(3, 2, 2, method="greedy")
+            for round_number in range(3):
+                assert engine.warm() is True
+                kill_one_worker(engine._pool)
+                with pytest.raises(WorkerCrashError):
+                    engine.search(3, 2, 2, method="greedy")
+                assert_identical(engine.search(3, 2, 2, method="greedy"),
+                                 baseline, round_number)
+            assert engine._pool.crashes == 3
