@@ -1,6 +1,6 @@
 """Pytest configuration shared by the test and benchmark suites.
 
-Two jobs:
+Three jobs:
 
 1. Path shim — make ``import repro`` work even without installation.
 2. Marker tooling — register the ``slow`` and ``stress`` markers and
@@ -9,6 +9,10 @@ Two jobs:
    concurrency/throughput tests only run when asked for explicitly
    (``-m stress``, or ``REPRO_STRESS=1`` — the switch the dedicated CI
    job flips).
+3. Network probe — register the ``network`` marker (tests that bind a
+   real localhost socket via ``asyncio.start_server``) and auto-skip
+   those tests in sandboxes where localhost listening sockets are
+   unavailable, probed once per session.
 """
 
 import os
@@ -32,6 +36,11 @@ def pytest_configure(config):
         "stress: heavy concurrency/fault/throughput exercise; skipped "
         "unless selected with -m stress or REPRO_STRESS=1",
     )
+    config.addinivalue_line(
+        "markers",
+        "network: binds a localhost socket server; auto-skipped where "
+        "asyncio.start_server on loopback is unavailable",
+    )
 
 
 def _stress_selected(config):
@@ -40,12 +49,39 @@ def _stress_selected(config):
     return "stress" in (config.getoption("-m") or "")
 
 
+def _loopback_server_available():
+    """Probe once whether asyncio can listen on a loopback socket."""
+    import asyncio
+
+    async def _probe():
+        server = await asyncio.start_server(
+            lambda reader, writer: None, "127.0.0.1", 0
+        )
+        server.close()
+        await server.wait_closed()
+
+    try:
+        asyncio.run(_probe())
+    except (OSError, NotImplementedError):
+        return False
+    return True
+
+
 def pytest_collection_modifyitems(config, items):
-    if _stress_selected(config):
-        return
-    skip_stress = pytest.mark.skip(
-        reason="stress test; select with -m stress or REPRO_STRESS=1"
-    )
+    skip_stress = None
+    if not _stress_selected(config):
+        skip_stress = pytest.mark.skip(
+            reason="stress test; select with -m stress or REPRO_STRESS=1"
+        )
+    skip_network = None
+    if any("network" in item.keywords for item in items) \
+            and not _loopback_server_available():
+        skip_network = pytest.mark.skip(
+            reason="localhost socket servers unavailable in this "
+                   "environment"
+        )
     for item in items:
-        if "stress" in item.keywords:
+        if skip_stress is not None and "stress" in item.keywords:
             item.add_marker(skip_stress)
+        if skip_network is not None and "network" in item.keywords:
+            item.add_marker(skip_network)

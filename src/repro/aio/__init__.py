@@ -2,15 +2,18 @@
 
 :class:`AsyncDCCHost` puts an asyncio front-end on
 :class:`repro.host.DCCHost`: per-graph bounded request queues with one
-dispatcher task each, in-flight coalescing of identical specs,
-backpressure via :class:`~repro.utils.errors.QueueFullError`, and a
-graceful drain on ``aclose()`` — while the submission/collection split
-in the engine and worker pool lets dispatchers *await* shard futures
-instead of parking a thread per request.
+dispatcher task each, in-flight coalescing of identical specs, a
+cross-time :class:`ResultCache` above the coalescer, backpressure via
+:class:`~repro.utils.errors.QueueFullError`, and a graceful drain on
+``aclose()`` — while the submission/collection split in the engine and
+worker pool lets dispatchers *await* shard futures instead of parking a
+thread per request.
 
-``repro serve`` drives one as a JSON-lines loop over stdin/stdout;
-``docs/architecture.md`` documents the queueing, coalescing and
-eviction-safety design.
+:class:`DCCServer` lifts the JSON-lines protocol onto real sockets
+(``repro serve --port``) so many client connections multiplex over one
+host; ``repro serve`` without ``--port`` drives the same protocol over
+stdin/stdout.  ``docs/architecture.md`` documents the queueing,
+coalescing, caching and fault-containment design.
 """
 
 from repro.aio.host import (
@@ -18,9 +21,27 @@ from repro.aio.host import (
     MAX_BATCH,
     AsyncDCCHost,
 )
+from repro.aio.metrics import DEFAULT_LATENCY_WINDOW, LatencyRecorder
+from repro.aio.result_cache import DEFAULT_RESULT_CACHE_ENTRIES, ResultCache
+from repro.aio.server import (
+    DEFAULT_BIND,
+    DEFAULT_MAX_REQUEST_BYTES,
+    DCCServer,
+    format_response,
+    serving_stats,
+)
 
 __all__ = [
     "AsyncDCCHost",
+    "DCCServer",
+    "DEFAULT_BIND",
+    "DEFAULT_LATENCY_WINDOW",
     "DEFAULT_MAX_PENDING",
+    "DEFAULT_MAX_REQUEST_BYTES",
+    "DEFAULT_RESULT_CACHE_ENTRIES",
+    "LatencyRecorder",
     "MAX_BATCH",
+    "ResultCache",
+    "format_response",
+    "serving_stats",
 ]

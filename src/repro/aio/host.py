@@ -26,6 +26,21 @@ Design
   a coalesced answer is bitwise identical (sets, labels, counters) to
   re-running the spec, so coalescing trades only duplicate work, never
   results.
+* **Cross-time result cache.**  Coalescing only dedupes *concurrent*
+  duplicates; a :class:`~repro.aio.result_cache.ResultCache` above the
+  coalescer dedupes across time — finished results are memoised under
+  ``(graph, mutation_version, spec)`` with LRU + TTL bounds, and a
+  repeat served minutes later costs a lookup and a deep copy instead
+  of a search.  Cached hits replay the stored stats delta (a caller's
+  ``stats=`` accumulator is charged exactly as a live search would
+  charge it), and the ``mutation_version`` key plus a per-graph
+  watermark purge make mutation invalidation automatic — a stale
+  answer is unreachable the moment the graph ticks.
+* **Per-request metrics.**  Queue depths, coalesce/cache hit counters
+  and service-latency percentiles (accept to resolve, recorded through
+  an injectable clock into a bounded window) are exposed via
+  :meth:`info`, the ``stats`` protocol message of both serving
+  transports, and ``repro info``.
 * **No thread per request.**  Serving leans on the submission/collection
   split threaded through the stack (``DCCEngine.submit`` →
   ``WorkerPool.submit_query``): the dispatcher submits on a pool
@@ -62,11 +77,18 @@ what lets :meth:`run_batch` bridge from synchronous code, one
 import asyncio
 import copy
 import threading
+import time
 from contextlib import asynccontextmanager
 from functools import partial
 
+from repro.aio.metrics import LatencyRecorder
+from repro.aio.result_cache import (
+    DEFAULT_RESULT_CACHE_ENTRIES,
+    ResultCache,
+)
 from repro.host import DCCHost
 from repro.utils.errors import (
+    GraphError,
     HostClosedError,
     ParameterError,
     QueueFullError,
@@ -126,6 +148,21 @@ class AsyncDCCHost:
     coalesce:
         Switch in-flight duplicate coalescing off (``True`` by
         default); results are identical either way.
+    cache_results:
+        Switch the cross-time result cache off (``False``); results are
+        identical either way, warm repeats just search live again.
+    result_cache:
+        An already-constructed :class:`ResultCache` to serve from —
+        the injection point for deterministic TTL/eviction tests
+        (bring your own clock).  Mutually exclusive with
+        ``cache_results=False``; when omitted, one is built from
+        ``result_cache_entries`` / ``result_cache_ttl``.
+    result_cache_entries / result_cache_ttl:
+        LRU entry cap (default 4096) and optional TTL seconds for the
+        built-in result cache.
+    clock:
+        Monotonic time source for the latency metrics, injectable so
+        the metrics tests can assert exact percentiles.
 
     Use as an async context manager (or call :meth:`aclose`) so the
     drain-and-shutdown runs::
@@ -139,7 +176,10 @@ class AsyncDCCHost:
     """
 
     def __init__(self, host=None, max_pending=DEFAULT_MAX_PENDING,
-                 coalesce=True, **host_options):
+                 coalesce=True, cache_results=True, result_cache=None,
+                 result_cache_entries=DEFAULT_RESULT_CACHE_ENTRIES,
+                 result_cache_ttl=None, clock=time.monotonic,
+                 **host_options):
         if host is not None and host_options:
             raise ParameterError(
                 "pass either an existing host or host options to build "
@@ -154,6 +194,20 @@ class AsyncDCCHost:
                     max_pending
                 )
             )
+        if result_cache is not None and not cache_results:
+            raise ParameterError(
+                "cache_results=False contradicts passing a result_cache; "
+                "drop one of the two"
+            )
+        if result_cache is not None:
+            self._results = result_cache
+        elif cache_results:
+            self._results = ResultCache(max_entries=result_cache_entries,
+                                        ttl=result_cache_ttl)
+        else:
+            self._results = None
+        self._clock = clock
+        self.latency = LatencyRecorder()
         self._host = host if host is not None else DCCHost(**host_options)
         # Admission (a possible O(n + m) freeze plus pool teardown of
         # the eviction victim) runs on executor threads so the event
@@ -173,6 +227,7 @@ class AsyncDCCHost:
         self.requests_accepted = 0
         self.requests_served = 0
         self.requests_coalesced = 0
+        self.requests_cached = 0
         self.requests_rejected = 0
         self.batches_dispatched = 0
 
@@ -189,12 +244,19 @@ class AsyncDCCHost:
         """Register a graph on the underlying host; returns ``self``."""
         with self._host_lock:
             self._host.attach(name, graph, **overrides)
+        if self._results is not None:
+            # A recycled name must never serve the previous graph's
+            # answers — mutation_version alone cannot tell two distinct
+            # graphs apart.
+            self._results.invalidate(name)
         return self
 
     def detach(self, name):
         """Drop a registration (refused while its engine is serving)."""
         with self._host_lock:
             self._host.detach(name)
+        if self._results is not None:
+            self._results.invalidate(name)
 
     def is_attached(self, name):
         return self._host.is_attached(name)
@@ -221,6 +283,23 @@ class AsyncDCCHost:
         """
         self._ensure_serving(name)
         loop = asyncio.get_running_loop()
+        started = self._clock()
+        # The result cache sits *above* the coalescer: a finished
+        # duplicate — even one served minutes ago — never touches a
+        # queue, a dispatcher or an engine.
+        cache_key = None
+        if self._results is not None:
+            cache_key = ResultCache.key_for(
+                name, self._host.graph(name).mutation_version,
+                d, s, k, method, options,
+            )
+            if cache_key is not None:
+                cached = self._results.fetch(cache_key,
+                                             options.get("stats"))
+                if cached is not None:
+                    self.requests_cached += 1
+                    self.latency.record(self._clock() - started)
+                    return cached
         key = _coalesce_key(name, d, s, k, method, options) \
             if self._coalesce else None
         if key is not None:
@@ -229,7 +308,9 @@ class AsyncDCCHost:
                 waiter = loop.create_future()
                 primary.waiters.append(waiter)
                 self.requests_coalesced += 1
-                return await waiter
+                result = await waiter
+                self.latency.record(self._clock() - started)
+                return result
         request = _Request((d, s, k, method, options), key,
                            loop.create_future())
         queue = self._queue_for(name)
@@ -241,7 +322,29 @@ class AsyncDCCHost:
         if key is not None:
             self._inflight[key] = request
         self.requests_accepted += 1
-        return await request.future
+        result = await request.future
+        self._maybe_cache(name, cache_key, options, result)
+        self.latency.record(self._clock() - started)
+        return result
+
+    def _maybe_cache(self, name, cache_key, options, result):
+        """Populate the result cache from a finished live search.
+
+        Three eligibility gates: the spec was cacheable at all, no user
+        ``stats=`` accumulator rode the request (its result's stats
+        object is the caller's own, not a clean replayable delta), and
+        the graph is still on the version the key was cut for — a
+        mutation racing the search must not resurrect the old answer.
+        """
+        if cache_key is None or "stats" in options:
+            return
+        try:
+            current = self._host.graph(name).mutation_version
+        except GraphError:
+            return  # detached while the search was in flight
+        if current != cache_key[1]:
+            return
+        self._results.put(cache_key, result)
 
     async def search_many(self, specs):
         """Serve a batch of ``{"graph": ..., "d": ..., ...}`` specs.
@@ -546,11 +649,20 @@ class AsyncDCCHost:
             "requests_accepted": self.requests_accepted,
             "requests_served": self.requests_served,
             "requests_coalesced": self.requests_coalesced,
+            "requests_cached": self.requests_cached,
             "requests_rejected": self.requests_rejected,
             "batches_dispatched": self.batches_dispatched,
             "pending": self.pending(),
             "inflight_keys": len(self._inflight),
             "dispatchers": tuple(self._dispatchers),
+            "result_cache": self._results.stats()
+            if self._results is not None else None,
+            "latency": self.latency.snapshot(),
             "closed": self._closed,
             "host": host_status,
         }
+
+    @property
+    def result_cache(self):
+        """The cross-time :class:`ResultCache`, or ``None`` if disabled."""
+        return self._results

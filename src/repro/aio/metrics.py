@@ -1,0 +1,73 @@
+"""Per-request latency metrics for the serving tier.
+
+Overload behaviour should be observable, not anecdotal: alongside the
+exact counters (queue depth, coalesce/cache hits) the serving layer
+records every answered request's service latency — accept to resolve —
+into a bounded window and reports nearest-rank percentiles through
+``info()``, the ``stats`` protocol message and ``repro info``.
+
+The recorder takes its timestamps from the owning host's injectable
+clock, so the metrics tests assert *exact* percentile values on a
+scripted workload instead of smoke-testing "some positive number came
+out" (see ``tests/test_server.py``).
+"""
+
+# How many recent latencies the percentile window holds.  Totals and
+# maxima are exact over the recorder's whole lifetime; percentiles are
+# over this sliding window, which is the operationally useful view (the
+# p99 of last week's traffic tells you nothing about the overload
+# happening now).
+DEFAULT_LATENCY_WINDOW = 1024
+
+# The percentiles info()/stats payloads report.
+REPORTED_PERCENTILES = (50, 90, 99)
+
+
+class LatencyRecorder:
+    """Bounded-window latency sample with nearest-rank percentiles."""
+
+    def __init__(self, window=DEFAULT_LATENCY_WINDOW):
+        self.window = window
+        self._recent = []
+        self._next = 0  # ring-buffer write position once the window fills
+        self.count = 0
+        self.total = 0.0
+        self.max = 0.0
+
+    def record(self, seconds):
+        self.count += 1
+        self.total += seconds
+        if seconds > self.max:
+            self.max = seconds
+        if len(self._recent) < self.window:
+            self._recent.append(seconds)
+        else:
+            self._recent[self._next] = seconds
+            self._next = (self._next + 1) % self.window
+
+    def percentile(self, q):
+        """Nearest-rank percentile over the window; ``None`` when empty.
+
+        ``sorted(window)[ceil(q/100 * n) - 1]`` — the smallest recorded
+        latency with at least ``q`` percent of the window at or below
+        it.  Exact on small samples, which is what makes it assertable.
+        """
+        if not self._recent:
+            return None
+        ordered = sorted(self._recent)
+        rank = -(-q * len(ordered) // 100)  # ceil without floats
+        return ordered[max(rank, 1) - 1]
+
+    def snapshot(self):
+        """The dict ``info()`` and the ``stats`` protocol op embed."""
+        payload = {
+            "count": self.count,
+            "total_s": self.total,
+            "max_s": self.max,
+            "mean_s": self.total / self.count if self.count else None,
+            "window": self.window,
+            "window_fill": len(self._recent),
+        }
+        for q in REPORTED_PERCENTILES:
+            payload["p{}_s".format(q)] = self.percentile(q)
+        return payload

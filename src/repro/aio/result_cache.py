@@ -1,0 +1,227 @@
+"""The cross-time result cache above the serving layer's coalescer.
+
+In-flight coalescing (``repro/aio/host.py``) dedupes *concurrent*
+duplicates; at serving scale the bigger win is the duplicates separated
+by seconds or minutes — the popular queries a fleet of clients keeps
+re-asking.  :class:`ResultCache` memoises *finished* search results so a
+repeat served any time later costs a dictionary lookup and a deep copy
+instead of a search.
+
+Keying and staleness
+--------------------
+Entries are keyed by ``(graph name, mutation_version, spec)`` where the
+spec is ``(d, s, k, method, sorted options)``.  The graph's
+``mutation_version`` being part of the key is what makes the cache safe
+over mutable graphs: any mutation ticks the version, so post-mutation
+lookups can never see pre-mutation answers.  Stale-version entries are
+not merely unreachable — the cache tracks one version watermark per
+graph and purges a graph's entries wholesale the first time it is
+consulted under a new version (the ``invalidations`` counter), so a
+mutation tick also releases the memory.
+
+The counter-replay contract, one layer up
+-----------------------------------------
+Reported :class:`~repro.core.stats.SearchStats` are part of the repo's
+bitwise-determinism guarantee, and the engine's :class:`ArtifactCache`
+already establishes the discipline: never let a cache make a warm query
+*observably* cheaper.  Entries therefore store the search's stats delta
+alongside its sets, and :meth:`fetch` replays it — a caller that passed
+its own ``stats=`` accumulator gets the delta merged in exactly as a
+live search would have merged it.  A cache hit is bitwise identical —
+sets, labels, counters — to re-running the spec (property-tested in
+``tests/test_result_cache.py`` and, over real sockets, in
+``tests/test_server.py``).
+
+Two option subtleties:
+
+* A caller-supplied ``stats`` accumulator is *excluded* from the key
+  (it selects no different answer) but makes the producing request
+  ineligible to **populate** the cache — its result's ``stats`` object
+  is the caller's own accumulator, not a clean delta.  Such requests
+  still *read* the cache.
+* Other unhashable option values opt the request out of the cache
+  entirely, mirroring the coalescer.
+
+Bounds
+------
+``max_entries`` (LRU discard beyond the cap) and ``ttl`` (entries older
+than ``ttl`` seconds expire on their next lookup) bound the cache, with
+an injectable monotonic ``clock`` so every eviction/expiry schedule is
+deterministically testable — no sleeps.  Eviction and expiry never
+affect results: a dropped entry's spec simply searches live again, and
+determinism makes the recomputed answer identical to the dropped one.
+"""
+
+import copy
+import time
+from collections import OrderedDict
+
+from repro.utils.errors import ParameterError
+
+# Default entry cap for a serving tier's result cache.  An entry is one
+# finished result (a handful of frozensets plus counters) — a few
+# thousand of the hottest specs is cheap and covers far more traffic
+# than any realistic distinct-spec population.
+DEFAULT_RESULT_CACHE_ENTRIES = 4096
+
+
+class ResultCache:
+    """LRU + TTL cache of finished search results with stats replay.
+
+    Parameters
+    ----------
+    max_entries:
+        Entry cap; the least-recently-used entry is discarded beyond it.
+        ``None`` never discards for size.
+    ttl:
+        Seconds an entry stays servable; expired entries are dropped on
+        their next lookup.  ``None`` (default) never expires.
+    clock:
+        Monotonic time source, injectable for deterministic TTL tests.
+    """
+
+    def __init__(self, max_entries=DEFAULT_RESULT_CACHE_ENTRIES, ttl=None,
+                 clock=time.monotonic):
+        if max_entries is not None and (
+                isinstance(max_entries, bool)
+                or not isinstance(max_entries, int) or max_entries < 1):
+            raise ParameterError(
+                "max_entries must be None or a positive integer, "
+                "got {!r}".format(max_entries)
+            )
+        if ttl is not None and (
+                isinstance(ttl, bool)
+                or not isinstance(ttl, (int, float)) or not ttl > 0):
+            raise ParameterError(
+                "ttl must be None or a positive number of seconds, "
+                "got {!r}".format(ttl)
+            )
+        self.max_entries = max_entries
+        self.ttl = ttl
+        self._clock = clock
+        self._entries = OrderedDict()  # key -> (result, stamp)
+        self._versions = {}  # graph name -> version watermark
+        self.hits = 0
+        self.misses = 0
+        self.insertions = 0
+        self.evictions = 0
+        self.expirations = 0
+        self.invalidations = 0
+
+    def __len__(self):
+        return len(self._entries)
+
+    # ------------------------------------------------------------------
+    # keying
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def key_for(name, version, d, s, k, method, options):
+        """The cross-time identity of a spec, or ``None`` if uncacheable.
+
+        A caller's ``stats`` accumulator never changes the answer, so it
+        is dropped from the key; any *other* unhashable option value
+        opts the request out of caching rather than failing it.
+        """
+        items = tuple(sorted(
+            (key, value) for key, value in options.items() if key != "stats"
+        ))
+        key = (name, version, d, s, k, method, items)
+        try:
+            hash(key)
+        except TypeError:
+            return None
+        return key
+
+    def _advance_watermark(self, name, version):
+        """Purge a graph's entries the first time a new version is seen."""
+        known = self._versions.get(name)
+        if known == version:
+            return
+        if known is not None:
+            self.invalidate(name)
+            self.invalidations += 1
+        self._versions[name] = version
+
+    # ------------------------------------------------------------------
+    # lookup / population
+    # ------------------------------------------------------------------
+
+    def fetch(self, key, user_stats=None):
+        """The cached result for ``key`` as a private deep copy, or ``None``.
+
+        A hit replays the stored stats delta exactly as a live search
+        would: with ``user_stats`` (the caller's ``stats=`` accumulator)
+        the delta is merged into it and the returned result reports the
+        accumulator itself — one-shot semantics, warm == cold bitwise.
+        """
+        self._advance_watermark(key[0], key[1])
+        entry = self._entries.get(key)
+        if entry is not None and self.ttl is not None \
+                and self._clock() - entry[1] > self.ttl:
+            del self._entries[key]
+            self.expirations += 1
+            entry = None
+        if entry is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        self._entries.move_to_end(key)
+        result = copy.deepcopy(entry[0])
+        if user_stats is not None:
+            user_stats.merge(result.stats)
+            result.stats = user_stats
+        return result
+
+    def put(self, key, result):
+        """Store a finished result (a private deep copy) under ``key``.
+
+        The caller owns eligibility: only results whose ``stats`` object
+        is the search's clean delta (no user accumulator was merged)
+        may populate the cache — see the module docstring.
+        """
+        self._advance_watermark(key[0], key[1])
+        self._entries[key] = (copy.deepcopy(result), self._clock())
+        self._entries.move_to_end(key)
+        self.insertions += 1
+        if self.max_entries is not None:
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+
+    # ------------------------------------------------------------------
+    # invalidation / status
+    # ------------------------------------------------------------------
+
+    def invalidate(self, name=None):
+        """Drop every entry for graph ``name`` (or all entries).
+
+        The version watermark makes mutation-driven invalidation
+        automatic; this surface is for registry churn — a host detaching
+        a graph (or re-attaching a different graph under a recycled
+        name) must not leave answers for the old graph reachable.
+        """
+        if name is None:
+            dropped = len(self._entries)
+            self._entries.clear()
+            self._versions.clear()
+            return dropped
+        stale = [key for key in self._entries if key[0] == name]
+        for key in stale:
+            del self._entries[key]
+        self._versions.pop(name, None)
+        return len(stale)
+
+    def stats(self):
+        """Counter snapshot for ``info()`` / the ``stats`` protocol op."""
+        return {
+            "entries": len(self._entries),
+            "hits": self.hits,
+            "misses": self.misses,
+            "insertions": self.insertions,
+            "evictions": self.evictions,
+            "expirations": self.expirations,
+            "invalidations": self.invalidations,
+            "max_entries": self.max_entries,
+            "ttl": self.ttl,
+        }

@@ -17,10 +17,12 @@ Subcommands
     lazily under a resident-engine cap and optional memory budget.
 ``serve``
     Serve search requests interactively: the spec file declares the
-    graphs, then JSON-lines requests arrive on stdin and responses
-    leave on stdout, flowing through an
+    graphs, then JSON-lines requests flow through an
     :class:`~repro.aio.AsyncDCCHost` (concurrent in-flight requests,
-    duplicate coalescing, bounded-queue backpressure).
+    duplicate coalescing, a cross-time result cache, bounded-queue
+    backpressure).  By default the transport is stdin/stdout; with
+    ``--port`` a :class:`~repro.aio.DCCServer` accepts many concurrent
+    socket connections over the same host.
 ``datasets``
     Print the Fig. 12 stand-in/paper statistics table.
 ``figure``
@@ -124,6 +126,29 @@ def _cmd_info(args):
     print("host_cache_max_entries: {}".format(
         host_status["cache_max_entries"]
     ))
+    # The serving tier a `repro serve` run would put in front of that
+    # host.  Constructing the async façade is free (no queue or
+    # dispatcher exists until traffic), and these lines are printed from
+    # the same info() payload the serving protocol's `stats` op reports,
+    # so the two surfaces cannot drift apart.
+    import asyncio
+
+    from repro.aio import AsyncDCCHost, serving_stats
+
+    async def _serving_info():
+        async with AsyncDCCHost() as ahost:
+            return serving_stats(ahost)["serving"]
+
+    serving = asyncio.run(_serving_info())
+    print("serve_max_pending: {}".format(serving["max_pending"]))
+    print("serve_coalescing: {}".format(serving["coalescing"]))
+    print("serve_result_cache_entries: {}".format(
+        serving["result_cache"]["max_entries"]
+    ))
+    print("serve_result_cache_ttl: {}".format(
+        serving["result_cache"]["ttl"]
+    ))
+    print("serve_latency_window: {}".format(serving["latency"]["window"]))
     return 0
 
 
@@ -266,51 +291,8 @@ def _cmd_host(args):
     return 0
 
 
-def _serve_response(number, request_id, result=None, error=None):
-    """One JSON-lines response object (``ok`` plus payload or error)."""
-    response = {"seq": number}
-    if request_id is not None:
-        response["id"] = request_id
-    if error is not None:
-        response["ok"] = False
-        response["error"] = str(error)
-        response["error_type"] = type(error).__name__
-        return response
-    response["ok"] = True
-    response["algorithm"] = result.algorithm
-    response["sets"] = [sorted(members, key=repr) for members in result.sets]
-    response["labels"] = [list(label) if label is not None else None
-                          for label in result.labels]
-    response["cover"] = result.cover_size
-    response["elapsed_s"] = round(result.elapsed, 6)
-    return response
-
-
-def _cmd_serve(args):
-    """JSON-lines serving loop over an AsyncDCCHost.
-
-    Each stdin line is one request object — a ``search_many`` spec
-    (``graph``/``d``/``s``/``k`` plus options) with an optional ``id``
-    echoed back.  Requests are submitted concurrently as they arrive,
-    so duplicates coalesce and per-graph batches pipeline; responses
-    are written as they complete (use ``id``/``seq`` to correlate —
-    completion order is not arrival order).  EOF drains in-flight work
-    and exits; a summary goes to stderr.
-    """
-    import asyncio
-
-    from repro.aio import AsyncDCCHost
-    from repro.host import parse_host_spec
-    from repro.utils.errors import GraphError
-
-    with open(args.spec) as handle:
-        payload = json.load(handle)
-    try:
-        graphs, preload, settings = parse_host_spec(payload,
-                                                    require_queries=False)
-    except GraphError as error:
-        print("{}: {}".format(args.spec, error), file=sys.stderr)
-        return 2
+def _serve_host_options(args, settings):
+    """Resolve serve-mode host/async options (flags beat spec settings)."""
     host_options = {"jobs": args.jobs, "backend": args.backend}
     max_engines = args.max_engines if args.max_engines is not None \
         else settings.get("max_engines")
@@ -323,8 +305,91 @@ def _cmd_serve(args):
     async_options = {}
     if max_pending is not None:
         async_options["max_pending"] = max_pending
+    if args.no_result_cache:
+        async_options["cache_results"] = False
+    else:
+        entries = args.result_cache_entries \
+            if args.result_cache_entries is not None \
+            else settings.get("result_cache_entries")
+        if entries is not None:
+            async_options["result_cache_entries"] = entries
+        ttl = args.result_cache_ttl if args.result_cache_ttl is not None \
+            else settings.get("result_cache_ttl")
+        if ttl is not None:
+            async_options["result_cache_ttl"] = ttl
+    return host_options, async_options
 
-    async def serve():
+
+def _cmd_serve(args):
+    """Serve JSON-lines search requests over an AsyncDCCHost.
+
+    Each request line is one JSON object — a search spec
+    (``graph``/``d``/``s``/``k`` plus options) with an optional ``id``
+    echoed back, or ``{"op": "stats"}`` for the serving metrics.
+    Requests are submitted concurrently as they arrive, so duplicates
+    coalesce, repeats hit the cross-time result cache and per-graph
+    batches pipeline; responses are written as they complete (use
+    ``id``/``seq`` to correlate — completion order is not arrival
+    order).
+
+    Without ``--port`` the transport is stdin/stdout: EOF drains
+    in-flight work and exits, and a summary goes to stderr.  With
+    ``--port`` a socket server (``repro.aio.DCCServer``) accepts many
+    concurrent client connections over the same host until SIGINT/
+    SIGTERM, which drains accepted work and shuts down.
+    """
+    import asyncio
+
+    from repro.aio import AsyncDCCHost, format_response, serving_stats
+    from repro.host import parse_host_spec
+    from repro.utils.errors import GraphError
+
+    with open(args.spec) as handle:
+        payload = json.load(handle)
+    try:
+        graphs, preload, settings = parse_host_spec(payload,
+                                                    require_queries=False)
+    except GraphError as error:
+        print("{}: {}".format(args.spec, error), file=sys.stderr)
+        return 2
+    host_options, async_options = _serve_host_options(args, settings)
+
+    async def serve_socket():
+        import signal
+
+        from repro.aio import DCCServer
+
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(signum, stop.set)
+            except (NotImplementedError, RuntimeError):
+                pass  # platform without loop signal handlers
+        async with AsyncDCCHost(**host_options, **async_options) as host:
+            for name, source in graphs.items():
+                host.attach(name, _load_graph(source, args.scale, args.seed))
+            if preload:
+                await host.search_many(preload)  # warm the result cache
+            async with DCCServer(host, port=args.port,
+                                 bind=args.bind) as server:
+                print("serving on {}:{} ({} graph(s))".format(
+                    args.bind, server.port, len(graphs)), file=sys.stderr,
+                    flush=True)
+                await stop.wait()
+                print("shutting down: draining accepted requests",
+                      file=sys.stderr)
+            status = server.counters()
+        print(
+            "serve: {} ok, {} failed over {} connection(s)".format(
+                status["responses_ok"], status["responses_failed"],
+                status["connections_accepted"],
+            ),
+            file=sys.stderr,
+        )
+        return 0
+
+    async def serve_stdio():
         loop = asyncio.get_running_loop()
         tasks = set()
         served = [0, 0]  # ok, failed
@@ -335,6 +400,14 @@ def _cmd_serve(args):
         async def answer(number, entry):
             request_id = entry.pop("id", None)
             try:
+                if entry.get("op") == "stats":
+                    payload = {"seq": number, "ok": True,
+                               "stats": serving_stats(host)}
+                    if request_id is not None:
+                        payload["id"] = request_id
+                    served[0] += 1
+                    emit(payload)
+                    return
                 name = entry.pop("graph")
                 d = entry.pop("d")
                 s = entry.pop("s")
@@ -344,10 +417,10 @@ def _cmd_serve(args):
                                            **entry)
             except Exception as error:
                 served[1] += 1
-                emit(_serve_response(number, request_id, error=error))
+                emit(format_response(number, request_id, error=error))
             else:
                 served[0] += 1
-                emit(_serve_response(number, request_id, result=result))
+                emit(format_response(number, request_id, result=result))
 
         async with AsyncDCCHost(**host_options, **async_options) as host:
             for name, source in graphs.items():
@@ -372,7 +445,7 @@ def _cmd_serve(args):
                         raise ValueError("request must be a JSON object")
                 except ValueError as error:
                     served[1] += 1
-                    emit(_serve_response(number, None, error=error))
+                    emit(format_response(number, None, error=error))
                     continue
                 tasks.add(asyncio.ensure_future(answer(number, entry)))
                 tasks = {task for task in tasks if not task.done()}
@@ -380,17 +453,19 @@ def _cmd_serve(args):
                 await asyncio.gather(*tasks)
             status = host.info()
         print(
-            "serve: {} ok, {} failed over {} graphs | coalesced {} | "
-            "engines admitted {}, evicted {}".format(
+            "serve: {} ok, {} failed over {} graphs | coalesced {}, "
+            "cached {} | engines admitted {}, evicted {}".format(
                 served[0], served[1], len(graphs),
-                status["requests_coalesced"],
+                status["requests_coalesced"], status["requests_cached"],
                 status["host"]["admissions"], status["host"]["evictions"],
             ),
             file=sys.stderr,
         )
         return 0
 
-    return asyncio.run(serve())
+    if args.port is not None:
+        return asyncio.run(serve_socket())
+    return asyncio.run(serve_stdio())
 
 
 def _cmd_datasets(args):
@@ -708,6 +783,22 @@ def build_parser():
                        help="per-graph request-queue bound; a full queue "
                             "rejects with QueueFullError (overrides the "
                             "spec)")
+    serve.add_argument("--port", type=int, default=None,
+                       help="serve over TCP instead of stdio: listen on "
+                            "this port (0 picks a free one, printed to "
+                            "stderr); SIGINT/SIGTERM drains and exits")
+    serve.add_argument("--bind", default="127.0.0.1",
+                       help="interface to bind with --port "
+                            "(default 127.0.0.1)")
+    serve.add_argument("--no-result-cache", action="store_true",
+                       help="disable the cross-time result cache "
+                            "(repeat specs search live again)")
+    serve.add_argument("--result-cache-entries", type=int, default=None,
+                       help="result-cache LRU entry cap (overrides the "
+                            "spec; default 4096)")
+    serve.add_argument("--result-cache-ttl", type=float, default=None,
+                       help="result-cache TTL in seconds (overrides the "
+                            "spec; default: entries never expire)")
     serve.set_defaults(fn=_cmd_serve)
 
     datasets = sub.add_parser("datasets", parents=[common],

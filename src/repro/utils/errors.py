@@ -135,6 +135,37 @@ class QueueFullError(GraphError, RuntimeError):
         )
 
 
+class ProtocolError(GraphError, ValueError):
+    """Raised when a serving-protocol request line is not a usable request.
+
+    The JSON-lines protocol (``repro serve`` over stdio or the socket
+    server) answers a malformed line with a per-line typed error
+    response instead of tearing the connection down; this is the type a
+    line that parses as JSON but is not a request object gets.
+    """
+
+
+class RequestTooLargeError(GraphError, ValueError):
+    """Raised when a serving-protocol request line exceeds the size bound.
+
+    The socket server reads request lines through a bounded buffer so a
+    single runaway (or hostile) line cannot balloon server memory.  The
+    oversized line is discarded through its terminating newline, this
+    error is answered on the line's sequence slot, and the connection
+    keeps serving subsequent requests.
+    """
+
+    def __init__(self, limit):
+        super().__init__(limit)
+        self.limit = limit
+
+    def __str__(self):
+        return (
+            "request line exceeds the {}-byte bound; split the request "
+            "or raise the server's max_request_bytes".format(self.limit)
+        )
+
+
 class HostClosedError(GraphError, RuntimeError):
     """Raised when an operation is attempted on a closed :class:`DCCHost`."""
 

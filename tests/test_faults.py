@@ -1,4 +1,5 @@
-"""Fault-injection suite: worker processes dying under the stack.
+"""Fault-injection suite: worker processes dying under the stack, and
+clients misbehaving above it.
 
 The contract under test, layer by layer:
 
@@ -12,11 +13,19 @@ The contract under test, layer by layer:
    run;
 3. **spawn-incapable environments keep their legacy behavior** — a pool
    that never ran degrades to inline execution silently (that is an
-   environment property, not a fault).
+   environment property, not a fault);
+4. **socket tier** (:class:`~repro.aio.DCCServer`) — a client
+   disconnecting mid-request has its pending work cancelled (or
+   completed) without disturbing other connections; malformed and
+   oversized request lines answer per-line typed errors through a
+   bounded read and the connection keeps serving; ``aclose()``
+   mid-traffic drains every accepted request, and closing the host
+   afterwards returns ``live_pool_count()`` to baseline.
 
-Every test kills real forked processes with SIGKILL, which is the
-closest stand-in for the OOM killer the serving layer will actually
-meet.
+Every process-crash test kills real forked processes with SIGKILL,
+which is the closest stand-in for the OOM killer the serving layer will
+actually meet; every network test misbehaves over a real localhost
+socket.
 """
 
 import os
@@ -222,3 +231,226 @@ class TestHostCrash:
                 assert_identical(engine.search(3, 2, 2, method="greedy"),
                                  baseline, round_number)
             assert engine._pool.crashes == 3
+
+
+class TestNetworkFaults:
+    """Client misbehaviour over real sockets; see tests/test_server.py
+    for the cooperative-protocol suite."""
+
+    pytestmark = pytest.mark.network
+
+    @staticmethod
+    async def _connect(port):
+        import asyncio
+        import json
+
+        reader, writer = await asyncio.open_connection("127.0.0.1", port)
+
+        async def ask(entry):
+            writer.write((json.dumps(entry) + "\n").encode())
+            await writer.drain()
+            return json.loads(await reader.readline())
+
+        return reader, writer, ask
+
+    @staticmethod
+    def _gate(host):
+        """Park every dispatcher batch behind an event the test holds."""
+        import asyncio
+
+        gate = asyncio.Event()
+        real_serve = host._serve_batch
+
+        async def gated(name, batch):
+            await gate.wait()
+            await real_serve(name, batch)
+
+        host._serve_batch = gated
+        return gate
+
+    def test_client_disconnect_cancels_without_disrupting_others(self):
+        import asyncio
+
+        from repro.aio import AsyncDCCHost, DCCServer
+
+        graph = paper_figure1_graph()
+        pools_before = live_pool_count()
+
+        async def serve():
+            async with AsyncDCCHost(jobs=1) as host:
+                host.attach("fig", graph)
+                gate = self._gate(host)
+                async with DCCServer(host, port=0) as server:
+                    port = server.port
+                    _, victim_writer, victim_ask = await self._connect(port)
+                    _, other_writer, other_ask = await self._connect(port)
+                    victim_writer.write(
+                        b'{"graph": "fig", "d": 3, "s": 2, "k": 2}\n'
+                    )
+                    await victim_writer.drain()
+                    other = asyncio.ensure_future(
+                        other_ask({"graph": "fig", "d": 2, "s": 2, "k": 2})
+                    )
+                    while host.requests_accepted < 2:
+                        await asyncio.sleep(0.01)
+                    # The victim walks away with its request parked on
+                    # the gated dispatcher.
+                    victim_writer.close()
+                    await victim_writer.wait_closed()
+                    while server.counters()["connections_open"] > 1:
+                        await asyncio.sleep(0.01)
+                    gate.set()
+                    # The surviving client is answered, and the server
+                    # still accepts fresh connections and requests.
+                    answered = await other
+                    _, late_writer, late_ask = await self._connect(port)
+                    late = await late_ask(
+                        {"graph": "fig", "d": 3, "s": 2, "k": 2}
+                    )
+                    for writer in (other_writer, late_writer):
+                        writer.close()
+                        await writer.wait_closed()
+                # Counters read after aclose: the surviving connections
+                # have been torn down by the drain.
+                return answered, late, server.counters()
+
+        answered, late, counters = asyncio.run(serve())
+        assert answered["ok"] and late["ok"]
+        with DCCHost(jobs=1) as host:
+            host.attach("fig", graph)
+            want = host.search("fig", 2, 2, 2)
+        assert answered["cover"] == want.cover_size
+        assert len(answered["sets"]) == len(want.sets)
+        # Every request was read, but the victim's response was never
+        # deliverable: at most the two surviving answers were written.
+        assert counters["requests_received"] == 3
+        assert counters["responses_ok"] <= 2
+        assert counters["connections_open"] == 0
+        assert live_pool_count() == pools_before
+
+    def test_malformed_lines_answer_typed_errors_per_line(self):
+        import asyncio
+
+        from repro.aio import AsyncDCCHost, DCCServer
+
+        async def serve():
+            async with AsyncDCCHost(jobs=1) as host:
+                host.attach("fig", paper_figure1_graph())
+                async with DCCServer(host, port=0) as server:
+                    reader, writer, ask = await self._connect(server.port)
+                    broken = await ask_raw(reader, writer, b"not json\n")
+                    listed = await ask_raw(reader, writer, b"[1, 2, 3]\n")
+                    scalar = await ask_raw(reader, writer, b"42\n")
+                    healthy = await ask(
+                        {"graph": "fig", "d": 3, "s": 2, "k": 2}
+                    )
+                    writer.close()
+                    await writer.wait_closed()
+                    return broken, listed, scalar, healthy, \
+                        server.counters()
+
+        async def ask_raw(reader, writer, data):
+            import json
+
+            writer.write(data)
+            await writer.drain()
+            return json.loads(await reader.readline())
+
+        broken, listed, scalar, healthy, counters = asyncio.run(serve())
+        assert not broken["ok"]
+        assert broken["error_type"] == "JSONDecodeError"
+        for response in (listed, scalar):
+            assert not response["ok"]
+            assert response["error_type"] == "ProtocolError"
+            assert "JSON object" in response["error"]
+        assert healthy["ok"]  # the connection kept serving
+        assert counters["requests_malformed"] == 3
+        assert counters["responses_ok"] == 1
+
+    def test_oversized_line_is_rejected_through_a_bounded_read(self):
+        import asyncio
+
+        from repro.aio import AsyncDCCHost, DCCServer
+
+        async def serve():
+            async with AsyncDCCHost(jobs=1) as host:
+                host.attach("fig", paper_figure1_graph())
+                async with DCCServer(host, port=0,
+                                     max_request_bytes=128) as server:
+                    reader, writer, ask = await self._connect(server.port)
+                    # One hostile line, far beyond the bound, streamed as
+                    # a single write; the server must reject it without
+                    # buffering it whole, discard through its newline,
+                    # and keep the connection.
+                    writer.write(b'{"pad": "' + b"x" * 4096 + b'"}\n')
+                    await writer.drain()
+                    import json
+
+                    rejected = json.loads(await reader.readline())
+                    healthy = await ask(
+                        {"graph": "fig", "d": 3, "s": 2, "k": 2}
+                    )
+                    writer.close()
+                    await writer.wait_closed()
+                    return rejected, healthy, server.counters()
+
+        rejected, healthy, counters = asyncio.run(serve())
+        assert not rejected["ok"]
+        assert rejected["error_type"] == "RequestTooLargeError"
+        assert "128" in rejected["error"]
+        assert healthy["ok"]
+        assert counters["requests_oversized"] == 1
+        assert counters["responses_ok"] == 1
+
+    def test_aclose_mid_traffic_drains_accepted_work(self):
+        import asyncio
+        import json
+
+        from repro.aio import AsyncDCCHost, DCCServer
+
+        graph = paper_figure1_graph()
+        pools_before = live_pool_count()
+        specs = [
+            {"graph": "fig", "d": 3, "s": 2, "k": 2},
+            {"graph": "fig", "d": 2, "s": 2, "k": 2},
+        ]
+
+        async def serve():
+            async with AsyncDCCHost(jobs=1) as host:
+                host.attach("fig", graph)
+                gate = self._gate(host)
+                async with DCCServer(host, port=0) as server:
+                    clients = []  # hold the writers: a GC'd transport
+                    for spec in specs:  # would look like a disconnect
+                        reader, writer, _ = await self._connect(server.port)
+                        writer.write((json.dumps(spec) + "\n").encode())
+                        await writer.drain()
+                        clients.append((reader, writer))
+                    while host.requests_accepted < len(specs):
+                        await asyncio.sleep(0.01)
+                    # Close mid-traffic: both requests are accepted and
+                    # parked; aclose must wait for them, not drop them.
+                    closing = asyncio.ensure_future(server.aclose())
+                    await asyncio.sleep(0.05)
+                    assert not closing.done()  # draining, not dropping
+                    gate.set()
+                    await closing
+                    # Every accepted request got its response written
+                    # before its connection closed.
+                    return [json.loads(await reader.readline())
+                            for reader, _ in clients], server.counters()
+
+        responses, counters = asyncio.run(serve())
+        with DCCHost(jobs=1) as host:
+            host.attach("fig", graph)
+            for spec, response in zip(specs, responses):
+                want = host.search("fig", spec["d"], spec["s"], spec["k"])
+                assert response["ok"], response
+                assert response["cover"] == want.cover_size
+                assert len(response["sets"]) == len(want.sets)
+        assert counters["responses_ok"] == len(specs)
+        assert counters["connections_open"] == 0
+        assert counters["closing"] is True
+        # The host outlives the server by design; closing it afterwards
+        # (the async-with above) returned every pool to baseline.
+        assert live_pool_count() == pools_before

@@ -1,0 +1,429 @@
+"""Suite for :mod:`repro.aio.result_cache` — the cross-time result cache.
+
+The contract under test:
+
+1. **keying** — ``stats`` accumulators never split the key, unhashable
+   option values opt out, the graph's ``mutation_version`` is part of
+   the identity;
+2. **cache semantics** — LRU order (with touch-on-hit), TTL expiry on
+   an injectable clock (no sleeps anywhere in this file), per-graph
+   watermark purges and explicit invalidation, all with exact counter
+   accounting, under scripted *and* hypothesis-drawn schedules;
+3. **bitwise equivalence through the async host** — a warm (cached)
+   response is indistinguishable from a cold one: same sets, labels,
+   cover and replayed :class:`SearchStats` counters, including into a
+   caller's own ``stats=`` accumulator, and across mutation ticks,
+   detach/re-attach name recycling, TTL expiry and LRU eviction.
+"""
+
+import asyncio
+import copy
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.aio import AsyncDCCHost, ResultCache
+from repro.core.stats import SearchStats
+from repro.graph import MultiLayerGraph, paper_figure1_graph
+from repro.host import DCCHost
+from repro.utils.errors import ParameterError
+
+
+def assert_identical(first, second, context=""):
+    assert first.sets == second.sets, context
+    assert first.labels == second.labels, context
+    assert first.cover_size == second.cover_size, context
+    assert first.stats.as_dict() == second.stats.as_dict(), context
+
+
+class FakeClock:
+    """A monotonic clock advanced explicitly by the test."""
+
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+@pytest.fixture(scope="module")
+def fig_results():
+    """Real results to cache, served once per module from a real host."""
+    graph = paper_figure1_graph()
+    with DCCHost(jobs=1) as host:
+        host.attach("fig", graph)
+        return {
+            "a": host.search("fig", 3, 2, 2),
+            "b": host.search("fig", 2, 2, 2),
+            "c": host.search("fig", 2, 2, 2, method="greedy"),
+        }
+
+
+def key(name="fig", version=0, d=3, s=2, k=2, method="auto", **options):
+    return ResultCache.key_for(name, version, d, s, k, method, options)
+
+
+# ----------------------------------------------------------------------
+# 1. keying
+# ----------------------------------------------------------------------
+
+
+class TestKeying:
+    def test_spec_fields_all_split_the_key(self):
+        base = key()
+        assert key() == base
+        for variant in (key(d=2), key(s=1), key(k=3), key(method="greedy"),
+                        key(name="other"), key(version=1),
+                        key(use_layer_pruning=False)):
+            assert variant != base
+
+    def test_stats_accumulator_never_splits_the_key(self):
+        assert key(stats=SearchStats()) == key()
+        assert key(stats=SearchStats()) == key(stats=SearchStats())
+
+    def test_other_unhashable_options_opt_out(self):
+        assert key(weights=[1, 2]) is None
+        assert key(weights=(1, 2)) is not None
+
+    def test_constructor_validates_bounds(self):
+        for bad in (0, -1, True, 1.5):
+            with pytest.raises(ParameterError):
+                ResultCache(max_entries=bad)
+        for bad in (0, -0.5, True):
+            with pytest.raises(ParameterError):
+                ResultCache(ttl=bad)
+        assert ResultCache(max_entries=None, ttl=None) is not None
+
+
+# ----------------------------------------------------------------------
+# 2. cache semantics (scripted schedules, injectable clock)
+# ----------------------------------------------------------------------
+
+
+class TestSemantics:
+    def test_fetch_returns_private_deep_copies(self, fig_results):
+        cache = ResultCache()
+        cache.put(key(), fig_results["a"])
+        first = cache.fetch(key())
+        second = cache.fetch(key())
+        assert_identical(first, fig_results["a"])
+        first.sets.append(frozenset())
+        assert second.sets != first.sets
+        assert cache.fetch(key()).sets == fig_results["a"].sets
+
+    def test_put_deep_copies_the_stored_result(self, fig_results):
+        cache = ResultCache()
+        mine = copy.deepcopy(fig_results["a"])
+        cache.put(key(), mine)
+        mine.sets.append(frozenset())
+        assert cache.fetch(key()).sets == fig_results["a"].sets
+
+    def test_user_stats_accumulator_replays_the_delta(self, fig_results):
+        # A warm hit must charge a caller's stats= accumulator exactly
+        # like the live search charged its own: pre-existing counts stay,
+        # the stored delta merges on top, and the returned result
+        # reports the accumulator itself (one-shot live semantics).
+        cache = ResultCache()
+        cache.put(key(), fig_results["a"])
+        mine = SearchStats()
+        mine.dcc_calls = 7
+        got = cache.fetch(key(), user_stats=mine)
+        assert got.stats is mine
+        want = fig_results["a"].stats.as_dict()
+        assert mine.dcc_calls == want["dcc_calls"] + 7
+        for field, value in mine.as_dict().items():
+            if field != "dcc_calls":
+                assert value == want[field]
+        # The stored entry itself is untouched by the merge.
+        again = cache.fetch(key())
+        assert again.stats.as_dict() == want
+
+    def test_ttl_expires_strictly_after_the_deadline(self, fig_results):
+        clock = FakeClock()
+        cache = ResultCache(ttl=10.0, clock=clock)
+        cache.put(key(), fig_results["a"])
+        clock.advance(10.0)  # exactly at the bound: still servable
+        assert cache.fetch(key()) is not None
+        clock.advance(0.001)
+        assert cache.fetch(key()) is None
+        assert cache.expirations == 1
+        assert len(cache) == 0
+        # Re-population restarts the clock for that entry.
+        cache.put(key(), fig_results["a"])
+        clock.advance(9.0)
+        assert cache.fetch(key()) is not None
+
+    def test_lru_evicts_least_recent_and_hits_touch(self, fig_results):
+        cache = ResultCache(max_entries=2)
+        ka, kb, kc = key(d=3), key(d=2), key(d=1)
+        cache.put(ka, fig_results["a"])
+        cache.put(kb, fig_results["b"])
+        assert cache.fetch(ka) is not None  # touch: a is now most recent
+        cache.put(kc, fig_results["c"])     # evicts b, not a
+        assert cache.evictions == 1
+        assert cache.fetch(kb) is None
+        assert cache.fetch(ka) is not None
+        assert cache.fetch(kc) is not None
+        assert len(cache) == 2
+
+    def test_version_watermark_purges_a_mutated_graph(self, fig_results):
+        cache = ResultCache()
+        cache.put(key(version=0, d=3), fig_results["a"])
+        cache.put(key(version=0, d=2), fig_results["b"])
+        cache.put(key(name="other", version=0), fig_results["c"])
+        # First consultation under version 1 purges fig's entries...
+        assert cache.fetch(key(version=1, d=3)) is None
+        assert cache.invalidations == 1
+        assert len(cache) == 1  # ...but not the other graph's.
+        assert cache.fetch(key(name="other", version=0)) is not None
+        # Old-version lookups cannot resurrect anything either.
+        assert cache.fetch(key(version=0, d=2)) is None
+
+    def test_explicit_invalidation(self, fig_results):
+        cache = ResultCache()
+        cache.put(key(d=3), fig_results["a"])
+        cache.put(key(d=2), fig_results["b"])
+        cache.put(key(name="other"), fig_results["c"])
+        assert cache.invalidate("fig") == 2
+        assert len(cache) == 1
+        assert cache.invalidate() == 1
+        assert len(cache) == 0
+
+    def test_stats_snapshot_counts_exactly(self, fig_results):
+        clock = FakeClock()
+        cache = ResultCache(max_entries=1, ttl=5.0, clock=clock)
+        assert cache.fetch(key()) is None                   # miss
+        cache.put(key(), fig_results["a"])                  # insert
+        assert cache.fetch(key()) is not None               # hit
+        cache.put(key(d=9), fig_results["b"])               # insert + evict
+        clock.advance(6.0)
+        assert cache.fetch(key(d=9)) is None                # expire + miss
+        snapshot = cache.stats()
+        assert snapshot == {
+            "entries": 0, "hits": 1, "misses": 2, "insertions": 2,
+            "evictions": 1, "expirations": 1, "invalidations": 0,
+            "max_entries": 1, "ttl": 5.0,
+        }
+
+    @given(st.data())
+    @settings(max_examples=25, deadline=None)
+    def test_property_any_schedule_serves_current_values(self, fig_results,
+                                                         data):
+        # Any interleaving of put/fetch/advance/invalidate over a tiny
+        # key space, any (max_entries, ttl) configuration: a hit must
+        # return exactly the newest value put under the key since the
+        # graph's last invalidation, never a stale or cross-key value,
+        # and the size bound must hold throughout.  A model dict tracks
+        # what is *allowed* to be cached; the cache may drop more
+        # (LRU/TTL) but never serve outside the model.
+        clock = FakeClock()
+        max_entries = data.draw(st.one_of(
+            st.none(), st.integers(min_value=1, max_value=3)))
+        ttl = data.draw(st.one_of(
+            st.none(), st.floats(min_value=1.0, max_value=5.0)))
+        cache = ResultCache(max_entries=max_entries, ttl=ttl, clock=clock)
+        keys = [key(name=name, version=0, d=d)
+                for name in ("fig", "ring") for d in (1, 2)]
+        values = list(fig_results.values())
+        model = {}
+        for _ in range(data.draw(st.integers(min_value=1, max_value=30))):
+            op = data.draw(st.sampled_from(
+                ("put", "fetch", "advance", "invalidate")))
+            if op == "put":
+                which = data.draw(st.integers(0, len(keys) - 1))
+                value = values[data.draw(st.integers(0, len(values) - 1))]
+                cache.put(keys[which], value)
+                model[keys[which]] = value
+            elif op == "fetch":
+                which = data.draw(st.integers(0, len(keys) - 1))
+                got = cache.fetch(keys[which])
+                if got is not None:
+                    assert keys[which] in model
+                    assert_identical(got, model[keys[which]])
+            elif op == "advance":
+                clock.advance(data.draw(
+                    st.floats(min_value=0.0, max_value=4.0)))
+            else:
+                name = data.draw(st.sampled_from(("fig", "ring")))
+                cache.invalidate(name)
+                model = {k: v for k, v in model.items() if k[0] != name}
+            if max_entries is not None:
+                assert len(cache) <= max_entries
+
+
+# ----------------------------------------------------------------------
+# 3. bitwise equivalence through the async host
+# ----------------------------------------------------------------------
+
+
+class TestHostIntegration:
+    def test_warm_repeat_is_a_hit_and_bitwise_identical(self):
+        graph = paper_figure1_graph()
+
+        async def serve():
+            async with AsyncDCCHost(jobs=1) as host:
+                host.attach("fig", graph)
+                cold = await host.search("fig", 3, 2, 2)
+                warm = await host.search("fig", 3, 2, 2)
+                again = await host.search("fig", 3, 2, 2)
+                return cold, warm, again, host.info()
+
+        cold, warm, again, info = asyncio.run(serve())
+        assert info["requests_cached"] == 2
+        assert info["result_cache"]["hits"] == 2
+        assert info["result_cache"]["insertions"] == 1
+        assert_identical(warm, cold)
+        assert_identical(again, cold)
+        # Hits are private copies, not shared state.
+        warm.sets.append(frozenset())
+        assert again.sets != warm.sets
+
+    def test_cache_can_be_disabled(self):
+        graph = paper_figure1_graph()
+
+        async def serve():
+            async with AsyncDCCHost(jobs=1, cache_results=False) as host:
+                host.attach("fig", graph)
+                cold = await host.search("fig", 3, 2, 2)
+                warm = await host.search("fig", 3, 2, 2)
+                return cold, warm, host.info()
+
+        cold, warm, info = asyncio.run(serve())
+        assert info["requests_cached"] == 0
+        assert info["result_cache"] is None
+        assert_identical(warm, cold)
+        with pytest.raises(ParameterError):
+            AsyncDCCHost(cache_results=False, result_cache=ResultCache())
+
+    def test_user_stats_requests_read_but_never_populate(self):
+        graph = paper_figure1_graph()
+
+        async def serve():
+            async with AsyncDCCHost(jobs=1) as host:
+                host.attach("fig", graph)
+                mine = SearchStats()
+                first = await host.search("fig", 3, 2, 2, stats=mine)
+                populated = len(host.result_cache)
+                plain = await host.search("fig", 3, 2, 2)
+                yours = SearchStats()
+                warm = await host.search("fig", 3, 2, 2, stats=yours)
+                return first, plain, warm, populated, host.info()
+
+        first, plain, warm, populated, info = asyncio.run(serve())
+        # The stats-accumulator request did not populate the cache...
+        assert populated == 0
+        # ...the plain one did, and the second accumulator request hit
+        # it with the delta replayed into its own accumulator.
+        assert info["requests_cached"] == 1
+        assert warm.stats is not first.stats
+        assert warm.stats.as_dict() == first.stats.as_dict()
+        assert warm.stats.as_dict() == plain.stats.as_dict()
+        assert warm.sets == plain.sets
+
+    def test_mutation_tick_invalidates_and_serves_fresh_answers(self):
+        # Two-vertex/one-edge deltas change real answers: cache a result,
+        # mutate the graph, and the host must serve the *new* graph's
+        # answer (bitwise equal to a fresh sequential baseline), with the
+        # watermark purging the stale entry.
+        graph = MultiLayerGraph(2, vertices=range(6))
+        for layer in range(2):
+            for i in range(6):
+                graph.add_edge(layer, i, (i + 1) % 6)
+
+        async def serve():
+            async with AsyncDCCHost(jobs=1) as host:
+                host.attach("ring", graph)
+                before = await host.search("ring", 2, 2, 2)
+                cached_before = await host.search("ring", 2, 2, 2)
+                graph.add_vertex(99)
+                graph.add_edge(0, 0, 99)
+                after = await host.search("ring", 2, 2, 2)
+                cached_after = await host.search("ring", 2, 2, 2)
+                return before, cached_before, after, cached_after, \
+                    host.info()
+
+        before, cached_before, after, cached_after, info = \
+            asyncio.run(serve())
+        assert_identical(cached_before, before)
+        assert_identical(cached_after, after)
+        assert info["requests_cached"] == 2
+        assert info["result_cache"]["invalidations"] >= 1
+        fresh = MultiLayerGraph(2, vertices=list(range(6)) + [99])
+        for layer in range(2):
+            for i in range(6):
+                fresh.add_edge(layer, i, (i + 1) % 6)
+        fresh.add_edge(0, 0, 99)
+        with DCCHost(jobs=1) as host:
+            host.attach("ring", fresh)
+            assert_identical(after, host.search("ring", 2, 2, 2))
+
+    def test_recycled_name_never_serves_the_old_graph(self):
+        # detach + attach a *different* graph under the same name: the
+        # versions may coincide, so attach/detach must invalidate.
+        fig = paper_figure1_graph()
+        ring = MultiLayerGraph(2, vertices=range(8))
+        for layer in range(2):
+            for i in range(8):
+                ring.add_edge(layer, i, (i + 1) % 8)
+
+        async def serve():
+            async with AsyncDCCHost(jobs=1) as host:
+                host.attach("g", fig)
+                from_fig = await host.search("g", 2, 2, 2)
+                # The dispatcher unpins its lease on a pool thread just
+                # after delivering the result; wait out that race.
+                for _ in range(500):
+                    try:
+                        host.detach("g")
+                        break
+                    except ParameterError:
+                        await asyncio.sleep(0.01)
+                host.attach("g", ring)
+                from_ring = await host.search("g", 2, 2, 2)
+                return from_fig, from_ring
+
+        from_fig, from_ring = asyncio.run(serve())
+        with DCCHost(jobs=1) as host:
+            host.attach("ring", ring)
+            assert_identical(from_ring, host.search("ring", 2, 2, 2))
+        assert from_fig.sets != from_ring.sets
+
+    def test_injected_cache_honours_ttl_and_eviction_bitwise(self):
+        # The injection point the server tests lean on: bring your own
+        # clock, script expiry and eviction, and every response — hit,
+        # post-expiry recompute, post-eviction recompute — stays bitwise
+        # identical to the cold answer.
+        graph = paper_figure1_graph()
+        clock = FakeClock()
+        cache = ResultCache(max_entries=1, ttl=10.0, clock=clock)
+
+        async def serve():
+            async with AsyncDCCHost(jobs=1, result_cache=cache) as host:
+                host.attach("fig", graph)
+                cold = await host.search("fig", 3, 2, 2)
+                hit = await host.search("fig", 3, 2, 2)
+                clock.advance(11.0)
+                expired = await host.search("fig", 3, 2, 2)
+                await host.search("fig", 2, 2, 2)  # evicts the d=3 entry
+                evicted = await host.search("fig", 3, 2, 2)
+                return cold, hit, expired, evicted, host.info()
+
+        cold, hit, expired, evicted, info = asyncio.run(serve())
+        assert host_counters_consistent(info)
+        assert info["requests_cached"] == 1
+        assert info["result_cache"]["expirations"] == 1
+        assert info["result_cache"]["evictions"] >= 1
+        for got in (hit, expired, evicted):
+            assert_identical(got, cold)
+
+
+def host_counters_consistent(info):
+    served = info["requests_accepted"]
+    cached = info["requests_cached"]
+    coalesced = info["requests_coalesced"]
+    return served + cached + coalesced >= served and cached >= 0 \
+        and coalesced >= 0

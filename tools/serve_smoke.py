@@ -1,0 +1,144 @@
+#!/usr/bin/env python
+"""Network smoke for the socket serving tier (`repro serve --port`).
+
+What CI proves with this script, end to end over a real TCP socket:
+
+1. `repro serve --port 0` comes up, prints its bound port to stderr,
+   and accepts concurrent connections;
+2. several scripted clients pipelining the same duplicate-heavy
+   request list all receive byte-identical response payloads
+   (timing fields aside) — the network-level determinism contract;
+3. the cross-time result cache actually served: the `stats` protocol
+   op reports non-zero cache hits for the repeated specs;
+4. SIGINT drains and exits cleanly (exit code 0).
+
+Stdlib only, so the smoke runs on a bare checkout: no pytest, no
+dependencies — `python tools/serve_smoke.py` from the repo root.
+"""
+
+import asyncio
+import json
+import os
+import re
+import signal
+import subprocess
+import sys
+
+ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+CLIENTS = 3
+REQUESTS = [
+    {"graph": "quickstart", "d": 3, "s": 2, "k": 2},
+    {"graph": "english", "d": 2, "s": 2, "k": 3},
+    {"graph": "quickstart", "d": 3, "s": 2, "k": 2},  # duplicate
+    {"graph": "quickstart", "d": 2, "s": 2, "k": 2, "method": "greedy"},
+]
+
+
+def start_server():
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.join(ROOT, "src")
+    process = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve",
+         os.path.join(ROOT, "examples", "host_queries.json"),
+         "--scale", "0.1", "--jobs", "1", "--port", "0"],
+        stderr=subprocess.PIPE, cwd=ROOT, env=env, text=True,
+    )
+    # The CLI announces "serving on <bind>:<port>" on stderr once bound.
+    line = process.stderr.readline()
+    match = re.search(r"serving on [^:]+:(\d+)", line)
+    if not match:
+        process.kill()
+        raise SystemExit(
+            "server did not announce its port; got stderr: "
+            "{!r}".format(line)
+        )
+    return process, int(match.group(1))
+
+
+async def run_client(port, tag):
+    reader, writer = await asyncio.open_connection("127.0.0.1", port,
+                                                   limit=1 << 20)
+    for number, request in enumerate(REQUESTS):
+        entry = dict(request, id="{}-{}".format(tag, number))
+        writer.write((json.dumps(entry) + "\n").encode())
+    await writer.drain()
+    responses = {}
+    for _ in REQUESTS:
+        response = json.loads(await reader.readline())
+        number = int(response["id"].rsplit("-", 1)[1])
+        responses[number] = response
+    writer.close()
+    await writer.wait_closed()
+    return responses
+
+
+async def fetch_stats(port):
+    reader, writer = await asyncio.open_connection("127.0.0.1", port,
+                                                   limit=1 << 20)
+    writer.write(b'{"op": "stats"}\n')
+    await writer.drain()
+    payload = json.loads(await reader.readline())
+    writer.close()
+    await writer.wait_closed()
+    return payload["stats"]
+
+
+def comparable(response):
+    payload = dict(response)
+    for field in ("seq", "id", "elapsed_s"):
+        payload.pop(field, None)
+    return payload
+
+
+async def smoke(port):
+    per_client = await asyncio.gather(*(
+        run_client(port, "c{}".format(tag)) for tag in range(CLIENTS)
+    ))
+    failures = [response
+                for responses in per_client
+                for response in responses.values() if not response["ok"]]
+    assert not failures, "server answered errors: {!r}".format(failures)
+    # Bitwise-equal responses: every client, every duplicate, the same
+    # payload for the same spec.
+    reference = per_client[0]
+    for responses in per_client[1:]:
+        for number in reference:
+            assert comparable(responses[number]) == \
+                comparable(reference[number]), \
+                "clients disagree on request {}".format(number)
+    assert comparable(reference[0]) == comparable(reference[2]), \
+        "duplicate spec answered differently"
+    stats = await fetch_stats(port)
+    hits = stats["serving"]["result_cache"]["hits"]
+    cached = stats["serving"]["requests_cached"]
+    assert hits > 0 and cached > 0, \
+        "repeated specs never hit the result cache: {!r}".format(
+            stats["serving"]["result_cache"])
+    return stats
+
+
+def main():
+    process, port = start_server()
+    try:
+        stats = asyncio.run(asyncio.wait_for(smoke(port), timeout=120))
+    except BaseException:
+        process.kill()
+        process.wait()
+        raise
+    process.send_signal(signal.SIGINT)
+    try:
+        code = process.wait(timeout=30)
+    except subprocess.TimeoutExpired:
+        process.kill()
+        raise SystemExit("server did not drain and exit on SIGINT")
+    assert code == 0, "server exited {} after SIGINT".format(code)
+    print("serve smoke: {} clients x {} requests OK | cache hits {} | "
+          "server counters {}".format(
+              CLIENTS, len(REQUESTS),
+              stats["serving"]["result_cache"]["hits"],
+              stats["server"]))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
