@@ -26,7 +26,6 @@ per-call allocation vs engine-owned buffer reuse.
 from time import perf_counter
 
 from repro.core.api import search_dccs
-from repro.datasets import load
 from repro.engine import DCCEngine
 from repro.graph import paper_figure1_graph
 from repro.graph.frozen import ScratchArena, frozen_coherent_core
@@ -142,9 +141,20 @@ def test_engine_reuse_report(benchmark):
 
 
 def test_peel_scratch_report(benchmark):
-    graph = load("english", scale=0.25, seed=0).frozen_graph()
+    # A 100k-vertex synthetic graph: the original english stand-in (525
+    # vertices) was too small for the arena's O(n) buffer recycling to
+    # rise above timer noise (the old report read 1.00x).  The arena is
+    # a python-tier mechanism — the numpy kernels never touch it — so
+    # the tier is pinned to keep the comparison about buffer reuse.
+    from repro.datasets import synthetic_multilayer
+
+    graph = synthetic_multilayer(
+        100_000, num_layers=3, num_communities=40, community_size=80,
+        d=4, span=2, seed=11, name="peel-scratch",
+    ).graph
+    graph.set_kernel("python")
     layers = tuple(range(min(3, graph.num_layers)))
-    rounds = 40
+    rounds = 10
 
     def alloc_per_call():
         for _ in range(rounds):
@@ -178,9 +188,10 @@ def test_peel_scratch_report(benchmark):
     assert arena.reuses == 0  # first call populates, later calls reuse
 
     lines = [
-        "Frozen peel scratch reuse — {} x frozen_coherent_core on the "
-        "english stand-in (scale 0.25, {} vertices, layers {}, d=3)"
-        .format(rounds, graph.num_vertices, list(layers)),
+        "Frozen peel scratch reuse — {} x frozen_coherent_core on a "
+        "synthetic planted-d-CC graph ({} vertices, layers {}, d=3, "
+        "python kernel tier pinned — the arena is a python-tier "
+        "mechanism)".format(rounds, graph.num_vertices, list(layers)),
         "",
         "{:<22s}  {:>10s}  {:>12s}".format("variant", "time_s",
                                            "per-call ms"),

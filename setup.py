@@ -1,11 +1,32 @@
-"""Setup shim for environments without the `wheel` package.
+"""Packaging metadata for the reproduction.
 
-The project metadata lives in pyproject.toml; this file only exists so
-that `pip install -e .` can fall back to the legacy (non-PEP 660)
-editable-install path on machines where PEP 660 editable wheels cannot
-be built (no `wheel` module, offline).
+The project is stdlib-only by design (DESIGN.md): a bare checkout with
+``PYTHONPATH=src`` runs every algorithm, the CLI and the serving tier
+with no dependencies.  The one optional extra is the numpy kernel tier:
+
+    pip install repro-dccs[fast]
+
+which enables ``kernel="numpy"`` (and makes ``kernel="auto"`` pick it)
+for the array-native peel kernels over the frozen CSR backend.  Without
+the extra the same call sites run the pure-Python reference kernels and
+produce bitwise-identical results — numpy is a speedup, never a
+behaviour change (see ``tests/test_kernels.py``).
 """
 
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+setup(
+    name="repro-dccs",
+    version="0.8.0",
+    description=(
+        "Reproduction of diversified coherent d-core search on "
+        "multi-layer graphs (ICDE'18)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    python_requires=">=3.8",
+    install_requires=[],
+    extras_require={
+        "fast": ["numpy"],
+    },
+)

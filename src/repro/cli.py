@@ -77,12 +77,23 @@ def _cmd_info(args):
     graph = _load_graph(args.graph, args.scale, args.seed)
     if args.backend == "frozen":
         graph = graph.freeze()
+        if args.kernel != "auto":
+            graph.set_kernel(args.kernel)
     summary = graph.summary()
     for key, value in summary.items():
         print("{}: {}".format(key, value))
     print("representation: {}".format(
         "frozen-csr" if graph.is_frozen else "dict-of-sets"
     ))
+    # The peel-kernel picture: which tier this invocation would execute
+    # with, and whether the numpy tier is available at all (install the
+    # "fast" extra to light it up).
+    from repro.graph import numpy_available, numpy_version, resolve_kernel
+
+    print("kernel_requested: {}".format(args.kernel))
+    print("kernel_resolved: {}".format(resolve_kernel(args.kernel)))
+    print("numpy_available: {}".format(numpy_available()))
+    print("numpy_version: {}".format(numpy_version()))
     print("memory_estimate_bytes: {}".format(graph.memory_bytes()))
     print("per_layer_edges: {}".format(", ".join(
         str(graph.num_edges(layer)) for layer in graph.layers()
@@ -101,9 +112,11 @@ def _cmd_info(args):
     from repro.engine import DCCEngine
 
     with DCCEngine(
-        graph, backend="frozen" if graph.is_frozen else "dict", jobs=0
+        graph, backend="frozen" if graph.is_frozen else "dict", jobs=0,
+        kernel=args.kernel,
     ) as engine:
         status = engine.info()
+    print("engine_kernel: {}".format(status["kernel"]))
     print("engine_workers: {}".format(status["workers"]))
     print("engine_pool_spawned: {}".format(status["pool_spawned"]))
     print("engine_cache_enabled: {}".format(status["cache_enabled"]))
@@ -157,6 +170,7 @@ def _cmd_search(args):
     result = search_dccs(
         graph, args.d, args.s, args.k, method=args.method,
         backend=args.backend, seed=args.seed, jobs=args.jobs,
+        kernel=args.kernel,
     )
     if args.jobs is not None:
         from repro.parallel import effective_jobs
@@ -205,7 +219,7 @@ def _cmd_batch(args):
     try:
         with Timer() as total:
             with DCCEngine(graph, backend=args.backend,
-                           jobs=args.jobs) as engine:
+                           jobs=args.jobs, kernel=args.kernel) as engine:
                 engine.warm()
                 results = engine.search_many(queries)
                 status = engine.info()
@@ -250,7 +264,10 @@ def _cmd_host(args):
         else settings.get("max_engines")
     budget = args.memory_budget if args.memory_budget is not None \
         else settings.get("memory_budget_bytes")
-    host_options = {"jobs": args.jobs, "backend": args.backend}
+    kernel = args.kernel if args.kernel != "auto" \
+        else settings.get("kernel", "auto")
+    host_options = {"jobs": args.jobs, "backend": args.backend,
+                    "kernel": kernel}
     if max_engines is not None:
         host_options["max_engines"] = max_engines
     if budget is not None:
@@ -293,7 +310,10 @@ def _cmd_host(args):
 
 def _serve_host_options(args, settings):
     """Resolve serve-mode host/async options (flags beat spec settings)."""
-    host_options = {"jobs": args.jobs, "backend": args.backend}
+    kernel = args.kernel if args.kernel != "auto" \
+        else settings.get("kernel", "auto")
+    host_options = {"jobs": args.jobs, "backend": args.backend,
+                    "kernel": kernel}
     max_engines = args.max_engines if args.max_engines is not None \
         else settings.get("max_engines")
     if max_engines is not None:
@@ -700,6 +720,10 @@ def build_parser():
     info.add_argument("--backend", default="dict",
                       choices=("dict", "frozen"),
                       help="representation to report on (default dict)")
+    info.add_argument("--kernel", default="auto",
+                      choices=("auto", "python", "numpy"),
+                      help="peel-kernel tier to report on (auto = numpy "
+                           "when available)")
     info.set_defaults(fn=_cmd_info)
 
     search = sub.add_parser("search", parents=[common], help="run DCCS")
@@ -716,6 +740,11 @@ def build_parser():
                         help="worker processes for the sharded parallel "
                              "search: 0 = one per CPU, N = exactly N "
                              "(default: classic single-process search)")
+    search.add_argument("--kernel", default="auto",
+                        choices=("auto", "python", "numpy"),
+                        help="peel-kernel tier for the frozen backend "
+                             "(auto = numpy when available; results are "
+                             "bitwise identical either way)")
     search.set_defaults(fn=_cmd_search)
 
     batch = sub.add_parser(
@@ -734,6 +763,10 @@ def build_parser():
     batch.add_argument("--jobs", type=int, default=0,
                        help="persistent pool size: 0 = one worker per "
                             "CPU (default), N = exactly N")
+    batch.add_argument("--kernel", default="auto",
+                       choices=("auto", "python", "numpy"),
+                       help="peel-kernel tier for the session's frozen "
+                            "backend (auto = numpy when available)")
     batch.set_defaults(fn=_cmd_batch)
 
     host = sub.add_parser(
@@ -758,6 +791,10 @@ def build_parser():
                            "their pools closed)")
     host.add_argument("--memory-budget", type=int, default=None,
                       help="global resident-memory budget in bytes "
+                           "(overrides the spec file)")
+    host.add_argument("--kernel", default="auto",
+                      choices=("auto", "python", "numpy"),
+                      help="peel-kernel tier default for every engine "
                            "(overrides the spec file)")
     host.set_defaults(fn=_cmd_host)
 
@@ -799,6 +836,10 @@ def build_parser():
     serve.add_argument("--result-cache-ttl", type=float, default=None,
                        help="result-cache TTL in seconds (overrides the "
                             "spec; default: entries never expire)")
+    serve.add_argument("--kernel", default="auto",
+                       choices=("auto", "python", "numpy"),
+                       help="peel-kernel tier default for every engine "
+                            "(overrides the spec file)")
     serve.set_defaults(fn=_cmd_serve)
 
     datasets = sub.add_parser("datasets", parents=[common],

@@ -30,6 +30,8 @@ from repro.core.dcore import (
     core_sizes_by_threshold,
     d_core,
     layer_core,
+    layer_core_decomposition,
+    layer_core_sizes,
 )
 from repro.core.dynamic import CoherentCoreTracker
 from repro.core.greedy import gd_dccs, greedy_max_k_cover
@@ -67,6 +69,8 @@ __all__ = [
     "enumerate_candidates",
     "d_core",
     "layer_core",
+    "layer_core_decomposition",
+    "layer_core_sizes",
     "core_decomposition",
     "core_sizes_by_threshold",
     "DiversifiedTopK",

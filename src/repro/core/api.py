@@ -26,6 +26,7 @@ from repro.core.bottomup import bu_dccs
 from repro.core.greedy import gd_dccs
 from repro.core.topdown import td_dccs
 from repro.graph.backend import resolve_search_graph
+from repro.graph.kernels import resolve_kernel
 from repro.utils.errors import ParameterError
 from repro.utils.timer import Timer
 
@@ -59,7 +60,8 @@ def resolve_method(num_layers, method, s, options):
     return method
 
 
-def _engine_one_shot(graph, d, s, k, method, backend, jobs, options):
+def _engine_one_shot(graph, d, s, k, method, backend, jobs, kernel,
+                     options):
     """Route one search through a short-lived :class:`DCCEngine`.
 
     ``search_dccs(..., jobs=N)`` *is* an engine session of length one:
@@ -71,12 +73,13 @@ def _engine_one_shot(graph, d, s, k, method, backend, jobs, options):
     """
     from repro.engine import DCCEngine
 
-    with DCCEngine(graph, backend=backend, jobs=jobs) as engine:
+    with DCCEngine(graph, backend=backend, jobs=jobs,
+                   kernel=kernel) as engine:
         return engine.search(d, s, k, method=method, **options)
 
 
 def search_dccs(graph, d, s, k, method="auto", backend="auto", jobs=None,
-                **options):
+                kernel="auto", **options):
     """Find the top-k diversified d-CCs of ``graph`` on ``s`` layers.
 
     Parameters
@@ -107,6 +110,13 @@ def search_dccs(graph, d, s, k, method="auto", backend="auto", jobs=None,
         search inline).  The greedy method additionally matches the
         sequential run exactly; the tree searches are documented shard
         variants (see :mod:`repro.parallel.search`).
+    kernel:
+        Peel-kernel tier for the frozen backend: ``"auto"`` (default —
+        numpy when importable, pure Python otherwise), ``"python"`` or
+        ``"numpy"``.  Results are bitwise identical between tiers, only
+        the wall clock differs; a non-``"auto"`` choice is remembered on
+        the resolved frozen graph for subsequent searches over it.  The
+        dict backend has one implementation and ignores the flag.
     options:
         Forwarded to the chosen algorithm (preprocessing and pruning
         switches, ``seed`` for top-down, ``stats``).
@@ -126,18 +136,23 @@ def search_dccs(graph, d, s, k, method="auto", backend="auto", jobs=None,
         raise ParameterError(
             "method must be one of {}, got {!r}".format(_METHODS, method)
         )
+    # Validate eagerly (and fail an explicit "numpy" request in a
+    # numpy-less interpreter) no matter which backend ends up serving.
+    resolve_kernel(kernel)
     if jobs is not None:
         from repro.parallel import check_jobs
 
         check_jobs(jobs)
         return _engine_one_shot(graph, d, s, k, method, backend, jobs,
-                                options)
+                                kernel, options)
     # Backend resolution (a possible O(n + m) freeze — cached on the
     # graph, so repeated searches pay it once) and the final id-to-label
     # translation are charged to the result's elapsed time: reported
     # timings must not get faster by moving work outside the clock.
     with Timer() as overhead:
         search_graph, translate = resolve_search_graph(graph, backend)
+        if kernel != "auto" and search_graph.is_frozen:
+            search_graph.set_kernel(kernel)
     method = resolve_method(search_graph.num_layers, method, s, options)
     if method == "greedy":
         result = gd_dccs(search_graph, d, s, k, **options)

@@ -12,7 +12,12 @@ Three entry points:
   returns), optionally restricted to a vertex subset;
 * :func:`core_decomposition` — the full core number of every vertex (the
   classic O(m) bin-sort algorithm), used by tests and by layer-ordering
-  heuristics.
+  heuristics.  :func:`layer_core_decomposition` is its
+  backend-dispatching form: on a frozen graph with the numpy kernel
+  tier active it routes the membership/degree bookkeeping to the
+  vectorised ascending-threshold cascade
+  (:func:`repro.graph.kernels.np_core_decomposition`), identical
+  result, flat-array cost.
 """
 
 from repro.utils.errors import ParameterError
@@ -132,6 +137,21 @@ def core_decomposition(adjacency, within=None):
     return core
 
 
+def layer_core_decomposition(graph, layer, within=None):
+    """Core numbers of one layer through the backend protocol.
+
+    Equal, key for key, to ``core_decomposition(graph.adjacency(layer),
+    within)`` on every backend; a frozen graph running the numpy kernel
+    tier skips the adjacency-dict materialisation entirely and peels
+    thresholds over the CSR arrays instead.
+    """
+    if graph.is_frozen and graph.kernel == "numpy":
+        from repro.graph.kernels import np_core_decomposition
+
+        return np_core_decomposition(graph, layer, within=within)
+    return core_decomposition(graph.adjacency(layer), within=within)
+
+
 def core_sizes_by_threshold(adjacency, within=None):
     """``{d: |d-core|}`` for every achievable d, from one decomposition.
 
@@ -139,7 +159,19 @@ def core_sizes_by_threshold(adjacency, within=None):
     ``>= d``; this helper materialises that histogram, which the layer
     sorting preprocessing (Section IV-C) consults repeatedly.
     """
-    core = core_decomposition(adjacency, within=within)
+    return _core_size_histogram(
+        core_decomposition(adjacency, within=within)
+    )
+
+
+def layer_core_sizes(graph, layer, within=None):
+    """``{d: |d-core|}`` of one layer through the backend protocol."""
+    return _core_size_histogram(
+        layer_core_decomposition(graph, layer, within=within)
+    )
+
+
+def _core_size_histogram(core):
     if not core:
         return {0: 0}
     max_core = max(core.values())

@@ -7,7 +7,11 @@ from repro.datasets.registry import (
     dataset_statistics,
     load,
 )
-from repro.datasets.synthetic import Dataset, build_standin
+from repro.datasets.synthetic import (
+    Dataset,
+    build_standin,
+    synthetic_multilayer,
+)
 
 __all__ = [
     "load",
@@ -17,4 +21,5 @@ __all__ = [
     "PAPER_STATISTICS",
     "Dataset",
     "build_standin",
+    "synthetic_multilayer",
 ]

@@ -47,6 +47,7 @@ from repro.core.stats import SearchStats
 from repro.engine.cache import ArtifactCache
 from repro.graph.backend import check_backend, resolve_search_graph
 from repro.graph.frozen import ScratchArena
+from repro.graph.kernels import numpy_available, resolve_kernel
 from repro.parallel.executor import WorkerPool, check_jobs
 from repro.parallel.plan import make_query
 from repro.parallel.search import execute_query_batch, start_query
@@ -71,6 +72,12 @@ class DCCEngine:
     backend:
         ``"auto"`` (default), ``"dict"`` or ``"frozen"`` — resolved once
         per session instead of once per call.
+    kernel:
+        Peel-kernel tier for the frozen backend (``"auto"`` /
+        ``"python"`` / ``"numpy"``), applied to the resolved search
+        graph at bind time and carried to every pooled worker through
+        the graph payload.  Results are bitwise identical between
+        tiers.  The dict backend ignores it.
     jobs:
         Persistent pool size with the usual semantics (``0`` = one
         worker per CPU, default); ``None`` is accepted as an alias for
@@ -102,11 +109,15 @@ class DCCEngine:
     """
 
     def __init__(self, graph, backend="auto", jobs=0, cache_artifacts=True,
-                 cache_max_entries=None, cache_ttl=None):
+                 cache_max_entries=None, cache_ttl=None, kernel="auto"):
         check_backend(backend)
         check_jobs(jobs)
+        # Resolve up front: an explicit "numpy" request must fail at
+        # construction in a numpy-less interpreter, not at first search.
+        resolve_kernel(kernel)
         self._source = graph
         self._backend = backend
+        self._kernel = kernel
         self._jobs = jobs
         self._cache_enabled = cache_artifacts
         self._cache_max_entries = cache_max_entries
@@ -135,6 +146,20 @@ class DCCEngine:
         self._translate = translate
         self._pending_overhead = overhead.elapsed
         self._version = self._source.mutation_version
+        if self._graph.is_frozen:
+            # Before the pool exists: the graph payload each worker
+            # receives carries the tier that is active *now*.  The
+            # resolved tier is remembered so a *shared* frozen graph —
+            # two engines over one source share its cached freeze — can
+            # be re-asserted per search if a sibling session flipped it
+            # (tiers are bitwise identical, so the flip could never
+            # change results, only which code path runs).
+            self._active_kernel = self._graph.set_kernel(
+                self._kernel if self._kernel != "auto"
+                else self._graph.kernel
+            )
+        else:
+            self._active_kernel = None
         self._pool = WorkerPool(self._graph, self._jobs)
         self._cache = ArtifactCache(
             self._graph, max_entries=self._cache_max_entries,
@@ -229,6 +254,9 @@ class DCCEngine:
     def _start(self, d, s, k, method, options):
         """Plan + submit one attempt; a :class:`PendingQuery`."""
         query = self._query_for(d, s, k, method, dict(options))
+        if self._active_kernel is not None and \
+                self._graph.kernel != self._active_kernel:
+            self._graph.set_kernel(self._active_kernel)
         with self._arena:
             return start_query(self._graph, query, self._pool,
                                stats=SearchStats(), artifacts=self._cache)
@@ -267,6 +295,9 @@ class DCCEngine:
                 self._query_for(d, s, k, method, dict(entry))
                 for d, s, k, method, entry in parsed
             ]
+            if self._active_kernel is not None and \
+                    self._graph.kernel != self._active_kernel:
+                self._graph.set_kernel(self._active_kernel)
             with self._arena:
                 results = execute_query_batch(self._graph, specs,
                                               self._pool,
@@ -297,6 +328,8 @@ class DCCEngine:
         return {
             "backend": "frozen-csr" if self._graph.is_frozen
             else "dict-of-sets",
+            "kernel": self._active_kernel,
+            "numpy_available": numpy_available(),
             "translate_results": self._translate,
             "workers": self._pool.workers,
             "pool_spawned": self._pool.spawned,

@@ -116,6 +116,11 @@ def vary_p(dataset_name="stack", p_values=None, large_s=False,
     A fraction ``p`` of vertices is sampled uniformly and the induced
     multi-layer subgraph searched; the paper runs this on its largest
     dataset (Stack) and observes near-linear growth.
+
+    The backend is pinned to ``"frozen"`` for every sample point: the
+    sweep compares *sizes*, and letting ``backend="auto"`` flip small
+    samples to the dict representation (or the kernel tier off) would
+    fold a representation switch into the scaling curve.
     """
     dataset = _dataset(dataset_name, scale, seed)
     if methods is None:
@@ -133,7 +138,7 @@ def vary_p(dataset_name="stack", p_values=None, large_s=False,
             sample, name="{}-p{}".format(dataset_name, p)
         )
         for row in sweep(graph, "p", (p,), _base(graph, s=s),
-                         methods, seed=seed):
+                         methods, backend="frozen", seed=seed):
             row["dataset"] = dataset_name
             row["s"] = s
             rows.append(row)
@@ -145,7 +150,8 @@ def vary_q(dataset_name="stack", q_values=None, large_s=False,
     """Fig. 27: scalability in the layer fraction ``q``.
 
     A fraction ``q`` of layers is sampled; ``s`` is clamped to stay valid
-    on the reduced layer count.
+    on the reduced layer count.  The backend is pinned to ``"frozen"``
+    for the same reason as :func:`vary_p`.
     """
     dataset = _dataset(dataset_name, scale, seed)
     if methods is None:
@@ -163,7 +169,7 @@ def vary_q(dataset_name="stack", q_values=None, large_s=False,
         s = s_large(graph.num_layers) if large_s else \
             min(DEFAULTS["s_small"], graph.num_layers)
         for row in sweep(graph, "q", (q,), _base(graph, s=s),
-                         methods, seed=seed):
+                         methods, backend="frozen", seed=seed):
             row["dataset"] = dataset_name
             row["s"] = s
             rows.append(row)

@@ -69,6 +69,13 @@ from repro.graph.frozen import (
     frozen_coherent_core,
     frozen_layer_core,
 )
+from repro.graph.kernels import (
+    KERNELS,
+    check_kernel,
+    numpy_available,
+    numpy_version,
+    resolve_kernel,
+)
 from repro.graph.multilayer import MultiLayerGraph
 from repro.graph.views import LayerView
 
@@ -79,6 +86,11 @@ __all__ = [
     "check_backend",
     "resolve_search_graph",
     "should_freeze",
+    "KERNELS",
+    "check_kernel",
+    "resolve_kernel",
+    "numpy_available",
+    "numpy_version",
     "frozen_layer_core",
     "frozen_coherent_core",
     "ScratchArena",

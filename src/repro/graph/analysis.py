@@ -6,7 +6,7 @@ graph: how dense is each layer, how similar are layers to each other
 support is distributed (which predicts what vertex-deletion will prune).
 """
 
-from repro.core.dcore import core_sizes_by_threshold, d_core
+from repro.core.dcore import layer_core, layer_core_sizes, d_core
 from repro.utils.errors import ParameterError
 
 
@@ -70,7 +70,7 @@ def support_histogram(graph, d):
         raise ParameterError("d must be non-negative")
     support = {v: 0 for v in graph.vertices()}
     for layer in graph.layers():
-        for vertex in d_core(graph.adjacency(layer), d):
+        for vertex in layer_core(graph, layer, d):
             support[vertex] += 1
     histogram = {}
     for count in support.values():
@@ -86,7 +86,7 @@ def core_size_profile(graph, max_d=None):
     """
     profile = {}
     for layer in graph.layers():
-        sizes = core_sizes_by_threshold(graph.adjacency(layer))
+        sizes = layer_core_sizes(graph, layer)
         if max_d is not None:
             sizes = {d: size for d, size in sizes.items() if d <= max_d}
         profile[layer] = sizes

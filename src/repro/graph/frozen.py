@@ -32,6 +32,7 @@ from collections import OrderedDict
 import sys
 import threading as _threading
 
+from repro.graph.kernels import buffer_nbytes, resolve_kernel
 from repro.utils.errors import (
     FrozenGraphError,
     LayerIndexError,
@@ -108,6 +109,7 @@ class FrozenMultiLayerGraph:
         "name",
         "labels",
         "_ids",
+        "_kernel",
         "_indptr",
         "_indices",
         "_edge_counts",
@@ -118,21 +120,28 @@ class FrozenMultiLayerGraph:
         "_nbr_sets",
         "_nbr_set_cap",
         "_adj_dicts",
+        "_np_csrs",
+        "_np_degs",
         "_vertex_set",
         "_thawed_cache",
     )
 
     def __init__(self, labels, indptr, indices, edge_counts, layer_masks,
-                 name="", neighbor_set_cap=None):
+                 name="", neighbor_set_cap=None, kernel="auto"):
         self.name = name
         self.labels = labels
-        self._ids = {label: i for i, label in enumerate(labels)}
+        # Lazy: built on the first label lookup.  Identity-labelled
+        # graphs (``labels`` a range, e.g. from the synthetic generator)
+        # never build it at all, which matters at 10^6 vertices.
+        self._ids = None
+        self._kernel = resolve_kernel(kernel)
         self._indptr = indptr
         self._indices = indices
         self._edge_counts = edge_counts
         self._layer_masks = layer_masks
         # Lazy caches: plain-list mirrors of the CSR arrays for the hot
-        # kernels (list indexing beats array indexing in CPython).
+        # python kernels (list indexing beats array indexing in CPython)
+        # and numpy views/degree vectors for the numpy kernel tier.
         self._nbr_lists = [None] * len(indptr)
         self._ptr_lists = [None] * len(indptr)
         self._deg_lists = [None] * len(indptr)
@@ -140,6 +149,8 @@ class FrozenMultiLayerGraph:
         self._nbr_set_cap = DEFAULT_NEIGHBOR_SET_CAP \
             if neighbor_set_cap is None else neighbor_set_cap
         self._adj_dicts = [None] * len(indptr)
+        self._np_csrs = [None] * len(indptr)
+        self._np_degs = [None] * len(indptr)
         self._vertex_set = None
         self._thawed_cache = None
 
@@ -167,8 +178,8 @@ class FrozenMultiLayerGraph:
         edge_counts = []
         layer_masks = [0] * n
         for layer in graph.layers():
-            ptr = array("l", [0]) * (n + 1)
-            idx = array("l")
+            ptr = array("i", [0]) * (n + 1)
+            idx = array("i")
             total = 0
             bit = 1 << layer
             for i, label in enumerate(labels):
@@ -215,7 +226,7 @@ class FrozenMultiLayerGraph:
             indices = self._indices[layer]
             for v in range(self.num_vertices):
                 for j in range(indptr[v], indptr[v + 1]):
-                    u = indices[j]
+                    u = int(indices[j])
                     if v < u:
                         thawed.add_edge(layer, out(v), out(u))
         return thawed
@@ -242,10 +253,25 @@ class FrozenMultiLayerGraph:
         """The original label behind dense id ``vertex``."""
         return self.labels[self._require_vertex(vertex)]
 
+    def _id_map(self):
+        """The lazily built ``label -> dense id`` dict."""
+        if self._ids is None:
+            self._ids = {label: i for i, label in enumerate(self.labels)}
+        return self._ids
+
     def id_of(self, label):
         """The dense id of an original label; raises on unknown labels."""
+        labels = self.labels
+        if type(labels) is range:
+            # Identity labels: resolve arithmetically instead of
+            # materialising an n-entry dict (range.index applies the
+            # same hash-equality aliasing a dict lookup would).
+            try:
+                return labels.index(label)
+            except (ValueError, TypeError):
+                raise VertexError(label) from None
         try:
-            return self._ids[label]
+            return self._id_map()[label]
         except (KeyError, TypeError):
             raise VertexError(label) from None
 
@@ -273,6 +299,27 @@ class FrozenMultiLayerGraph:
         derived from it never go stale (the dict backend's counterpart
         ticks on every mutation)."""
         return 0
+
+    @property
+    def kernel(self):
+        """The active peel-kernel tier, ``"python"`` or ``"numpy"``.
+
+        An execution preference, not part of the graph's identity: both
+        tiers compute bitwise-identical results (see
+        :mod:`repro.graph.kernels`), so switching kernels never
+        invalidates caches or derived artifacts.
+        """
+        return self._kernel
+
+    def set_kernel(self, kernel):
+        """Select the peel-kernel tier; returns the resolved choice.
+
+        ``"auto"`` resolves to ``"numpy"`` when numpy is importable;
+        an explicit ``"numpy"`` without numpy raises
+        :class:`~repro.utils.errors.ParameterError`.
+        """
+        self._kernel = resolve_kernel(kernel)
+        return self._kernel
 
     @property
     def num_layers(self):
@@ -400,7 +447,9 @@ class FrozenMultiLayerGraph:
         self._check_layer(layer)
         vertex = self._require_vertex(vertex)
         indptr = self._indptr[layer]
-        return indptr[vertex + 1] - indptr[vertex]
+        # int() keeps the return type a plain int when the CSR buffers
+        # are numpy-backed (generator- or payload-built graphs).
+        return int(indptr[vertex + 1] - indptr[vertex])
 
     def min_degree_over(self, layers, vertex):
         return min(self.degree(layer, vertex) for layer in layers)
@@ -421,6 +470,10 @@ class FrozenMultiLayerGraph:
     def induced_degrees(self, layer, within=None):
         """``{v: deg_layer(v) within the subset}`` — the protocol's bulk query."""
         self._check_layer(layer)
+        if self._kernel == "numpy":
+            from repro.graph.kernels import np_induced_degrees
+
+            return np_induced_degrees(self, layer, within=within)
         if within is None:
             degrees = self._degree_list(layer)
             return {v: degrees[v] for v in range(self.num_vertices)}
@@ -465,7 +518,7 @@ class FrozenMultiLayerGraph:
         indices = self._indices[layer]
         for v in range(self.num_vertices):
             for j in range(indptr[v], indptr[v + 1]):
-                u = indices[j]
+                u = int(indices[j])
                 if v < u:
                     yield (v, u)
 
@@ -493,18 +546,31 @@ class FrozenMultiLayerGraph:
         }
 
     def memory_bytes(self):
-        """Rough resident size: CSR arrays, label table, built caches."""
+        """Rough resident size: CSR arrays, label table, built caches.
+
+        Honest for both storage forms: ``array.array`` buffers are
+        counted as ``itemsize * len`` and numpy-backed buffers as
+        ``ndarray.nbytes`` (:func:`repro.graph.kernels.buffer_nbytes`),
+        so host ``memory_budget_bytes`` admission control sees the same
+        bytes either way.  The numpy kernel tier's cached views share
+        the CSR storage and are not double-counted; its owned per-layer
+        degree vectors are.
+        """
         total = 0
         for ptr, idx in zip(self._indptr, self._indices):
-            total += ptr.itemsize * len(ptr) + idx.itemsize * len(idx)
+            total += buffer_nbytes(ptr) + buffer_nbytes(idx)
         total += sys.getsizeof(self.labels)
-        total += sum(sys.getsizeof(label) for label in self.labels)
+        if type(self.labels) is not range:
+            total += sum(sys.getsizeof(label) for label in self.labels)
         total += sys.getsizeof(self._ids)
         total += sys.getsizeof(self._layer_masks)
         for cache in (self._nbr_lists, self._ptr_lists, self._deg_lists):
             for mirror in cache:
                 if mirror is not None:
                     total += sys.getsizeof(mirror)
+        for degrees in self._np_degs:
+            if degrees is not None:
+                total += degrees.nbytes
         for sets in self._nbr_sets:
             if sets is not None:
                 total += sets.memory_bytes()
@@ -586,11 +652,40 @@ class FrozenMultiLayerGraph:
         """Full-graph degrees of ``layer`` as a cached plain list."""
         cached = self._deg_lists[layer]
         if cached is None:
-            indptr = self._indptr[layer]
+            # Derived from the plain-list indptr mirror so the entries
+            # are plain ints even on numpy-backed storage.
+            indptr = self._indptr_list(layer)
             cached = [
                 indptr[v + 1] - indptr[v] for v in range(self.num_vertices)
             ]
             self._deg_lists[layer] = cached
+        return cached
+
+    def _np_csr(self, layer):
+        """Cached numpy int views of ``layer``'s CSR pair.
+
+        Zero-copy: ``array.array`` storage is viewed through
+        ``np.frombuffer``; numpy-backed storage passes through.  Only
+        the numpy kernel tier calls this.
+        """
+        cached = self._np_csrs[layer]
+        if cached is None:
+            from repro.graph.kernels import as_index_array
+
+            cached = (as_index_array(self._indptr[layer]),
+                      as_index_array(self._indices[layer]))
+            self._np_csrs[layer] = cached
+        return cached
+
+    def _np_degrees(self, layer):
+        """Full-graph degrees of ``layer`` as a cached int64 ndarray."""
+        cached = self._np_degs[layer]
+        if cached is None:
+            import numpy as np
+
+            indptr = self._np_csr(layer)[0].astype(np.int64)
+            cached = indptr[1:] - indptr[:-1]
+            self._np_degs[layer] = cached
         return cached
 
     # ------------------------------------------------------------------
@@ -600,11 +695,21 @@ class FrozenMultiLayerGraph:
     def __eq__(self, other):
         if not isinstance(other, FrozenMultiLayerGraph):
             return NotImplemented
-        return (
-            self.labels == other.labels
-            and self._indptr == other._indptr
-            and self._indices == other._indices
-        )
+        if self.num_layers != other.num_layers or \
+                self.num_vertices != other.num_vertices:
+            return False
+        # Normalise before comparing: labels may be a list or a range,
+        # CSR buffers may be array.array or numpy-backed — equal content
+        # means equal graph regardless of storage (and of kernel tier,
+        # which is an execution preference, not identity).
+        if list(self.labels) != list(other.labels):
+            return False
+        for mine, theirs in ((self._indptr, other._indptr),
+                             (self._indices, other._indices)):
+            for a, b in zip(mine, theirs):
+                if a is not b and a.tolist() != b.tolist():
+                    return False
+        return True
 
     def __ne__(self, other):
         equal = self.__eq__(other)
@@ -835,15 +940,22 @@ def _induced_degree_lists(graph, layer_tuple, alive, members, full,
 def frozen_layer_core(graph, layer, d, within=None, arena=None):
     """Single-layer d-core on the CSR representation; a set of ids.
 
-    The bucket-free cascade mirrors :func:`repro.core.dcore.d_core`
-    exactly, with ``bytearray`` flags in place of the ``alive`` and
-    ``in_queue`` sets and flat lists in place of the degree dict.
-    ``arena`` recycles the O(n) scratch state (defaults to the ambient
-    :func:`active_scratch`); it never affects the result.
+    Dispatches on the graph's kernel tier: the numpy gather/scatter
+    kernel (:func:`repro.graph.kernels.np_layer_core`) when active,
+    otherwise the pure-Python cascade below, whose bucket-free FIFO
+    mirrors :func:`repro.core.dcore.d_core` exactly with ``bytearray``
+    flags in place of the ``alive`` and ``in_queue`` sets and flat lists
+    in place of the degree dict.  Both tiers return the same set.
+    ``arena`` recycles the python tier's O(n) scratch state (defaults to
+    the ambient :func:`active_scratch`); it never affects the result.
     """
     if d < 0:
         raise ParameterError("d must be non-negative, got {}".format(d))
     graph._check_layer(layer)
+    if graph.kernel == "numpy":
+        from repro.graph.kernels import np_layer_core
+
+        return np_layer_core(graph, layer, d, within=within)
     if arena is None:
         arena = active_scratch()
     alive, members = _alive_members(graph, within, arena=arena)
@@ -880,13 +992,21 @@ def frozen_coherent_core(graph, layer_tuple, d, within=None, stats=None,
 
     Mirrors :func:`repro.core.dcc.coherent_core` (same peel counters,
     same unique fixed point, same validation) with flat-array state.
-    ``arena`` recycles the O(n) scratch state (defaults to the ambient
-    :func:`active_scratch`); it never affects the result.
+    Dispatches to :func:`repro.graph.kernels.np_coherent_core` when the
+    graph's numpy kernel tier is active — same fixed point, same
+    ``peel_operations`` count (one per removed vertex).  ``arena``
+    recycles the python tier's O(n) scratch state (defaults to the
+    ambient :func:`active_scratch`); it never affects the result.
     """
     if d < 0:
         raise ParameterError("d must be non-negative, got {}".format(d))
     for layer in layer_tuple:
         graph._check_layer(layer)
+    if graph.kernel == "numpy":
+        from repro.graph.kernels import np_coherent_core
+
+        return np_coherent_core(graph, layer_tuple, d, within=within,
+                                stats=stats)
     if arena is None:
         arena = active_scratch()
     alive, members = _alive_members(graph, within, arena=arena)

@@ -1,0 +1,316 @@
+"""The kernel tier: array-native peel kernels over the frozen CSR arrays.
+
+The frozen backend (:mod:`repro.graph.frozen`) ships two interchangeable
+implementations of its hot primitives — induced degrees, the single-layer
+d-core peel, the multi-layer coherent-core fixed point and the full core
+decomposition:
+
+* ``"python"`` — the original pure-Python flag/list kernels, kept
+  verbatim in :mod:`repro.graph.frozen` as the correctness reference;
+* ``"numpy"`` — the gather/scatter kernels in this module, which run the
+  same cascades as vectorised *rounds* over int32 views of the CSR
+  ``indptr``/``indices`` buffers (boolean alive masks, ``np.add.at`` /
+  ``bincount`` degree scatters, frontier queues as index arrays).
+
+Both kernels compute the same unique fixed point and count the same
+number of peel operations (one per removed vertex, an order-independent
+quantity), so results — sets, labels, cover, ``SearchStats`` — are
+bitwise identical; the property suite in ``tests/test_kernels.py``
+enforces this.  The tier is selected by the ``kernel=auto|python|numpy``
+flag threaded through :class:`FrozenMultiLayerGraph`, ``search_dccs``,
+the engine/host/serving stack and the CLI; ``"auto"`` resolves to
+``"numpy"`` exactly when numpy imports, so environments without the
+``fast`` extra transparently fall back to the pure-Python tier.
+"""
+
+from repro.utils.errors import ParameterError
+
+KERNELS = ("auto", "python", "numpy")
+
+try:
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised on the no-numpy CI leg
+    _np = None
+
+
+# ----------------------------------------------------------------------
+# flag validation / resolution
+# ----------------------------------------------------------------------
+
+
+def numpy_available():
+    """Whether the numpy kernel tier can run in this interpreter."""
+    return _np is not None
+
+
+def numpy_version():
+    """The importable numpy's version string, or ``None`` without numpy."""
+    return None if _np is None else _np.__version__
+
+
+def check_kernel(kernel):
+    """Validate a ``kernel=`` argument, returning it unchanged."""
+    if kernel not in KERNELS:
+        raise ParameterError(
+            "kernel must be one of {}, got {!r}".format(KERNELS, kernel)
+        )
+    return kernel
+
+
+def resolve_kernel(kernel):
+    """Resolve a ``kernel=`` argument to a concrete tier.
+
+    ``"auto"`` picks ``"numpy"`` exactly when numpy is importable;
+    explicitly requesting ``"numpy"`` without numpy raises — a caller
+    who *named* the fast tier must not silently get the slow one.
+    """
+    check_kernel(kernel)
+    if kernel == "auto":
+        return "numpy" if _np is not None else "python"
+    if kernel == "numpy" and _np is None:
+        raise ParameterError(
+            "kernel=\"numpy\" requested but numpy is not importable; "
+            "install the \"fast\" extra (pip install repro-dccs[fast]) "
+            "or use kernel=\"auto\""
+        )
+    return kernel
+
+
+def coerce_kernel(kernel):
+    """Lenient resolution for internal payloads: fall back, never raise.
+
+    Worker processes rebuild graphs from serialized payloads that carry
+    the parent's resolved kernel; a worker without numpy (a degraded
+    environment, never a user request) must still deserialize and serve
+    rather than crash the pool.
+    """
+    if kernel not in KERNELS:
+        kernel = "auto"
+    if kernel == "numpy" and _np is None:
+        return "python"
+    return resolve_kernel(kernel)
+
+
+# ----------------------------------------------------------------------
+# CSR buffer views
+# ----------------------------------------------------------------------
+
+
+def as_index_array(buffer):
+    """A zero-copy numpy integer view of a CSR buffer.
+
+    ``array.array`` buffers are viewed through ``np.frombuffer`` with
+    the matching integer width (no copy, no per-element conversion);
+    buffers that are already ndarrays pass through unchanged.
+    """
+    if isinstance(buffer, _np.ndarray):
+        return buffer
+    return _np.frombuffer(buffer, dtype=_np.dtype("i{}".format(
+        buffer.itemsize)))
+
+
+def buffer_nbytes(buffer):
+    """Resident payload bytes of a CSR buffer (ndarray or array.array)."""
+    nbytes = getattr(buffer, "nbytes", None)
+    if nbytes is not None:
+        return nbytes
+    return buffer.itemsize * len(buffer)
+
+
+# ----------------------------------------------------------------------
+# shared kernel scaffolding
+# ----------------------------------------------------------------------
+
+
+def _member_state(graph, within):
+    """``(alive bool array, member id array, member sequence)``.
+
+    Member *coercion* (deduplication, aliasing of objects hash-equal to
+    in-range ints, silent dropping of everything else) is delegated to
+    the python kernels' :func:`repro.graph.frozen._alive_members` so the
+    two tiers can never disagree on who participates; only the bulk
+    arithmetic after that point is vectorised.
+    """
+    n = graph.num_vertices
+    if within is None:
+        return (_np.ones(n, dtype=_np.bool_),
+                _np.arange(n, dtype=_np.int64), range(n))
+    from repro.graph.frozen import _alive_members
+
+    alive_bytes, members = _alive_members(graph, within)
+    alive = _np.frombuffer(alive_bytes, dtype=_np.uint8).astype(_np.bool_)
+    member_arr = _np.fromiter(members, dtype=_np.int64, count=len(members))
+    return alive, member_arr, members
+
+
+def _gather_rows(indptr, indices, rows):
+    """Concatenated CSR rows: ``(flat neighbour array, row bounds)``.
+
+    ``bounds`` has ``len(rows) + 1`` entries; row ``r``'s neighbours are
+    ``flat[bounds[r]:bounds[r + 1]]``.  Robust to empty rows and an
+    empty ``rows`` array.
+    """
+    starts = indptr[rows].astype(_np.int64)
+    lengths = indptr[rows + 1].astype(_np.int64) - starts
+    bounds = _np.zeros(len(rows) + 1, dtype=_np.int64)
+    _np.cumsum(lengths, out=bounds[1:])
+    total = int(bounds[-1])
+    if total == 0:
+        return _np.empty(0, dtype=_np.int64), bounds
+    flat = _np.repeat(starts - bounds[:-1], lengths) \
+        + _np.arange(total, dtype=_np.int64)
+    return indices[flat].astype(_np.int64), bounds
+
+
+def _induced_degree_arrays(graph, layer_tuple, alive, member_arr, full):
+    """Per-layer int64 degree arrays restricted to the alive mask.
+
+    The numpy analogue of the python tier's two-strategy
+    ``_induced_degree_lists``: the full-graph case copies the cached
+    degree vector; a large subset counts alive neighbours with one
+    cumsum over the whole CSR; a small subset gathers only the member
+    rows.  Entries for dead vertices are garbage either way — the peel
+    loops never read them.
+    """
+    if full:
+        return [graph._np_degrees(layer).copy() for layer in layer_tuple]
+    n = graph.num_vertices
+    degree_arrays = []
+    dense = 2 * member_arr.size > n
+    for layer in layer_tuple:
+        indptr, indices = graph._np_csr(layer)
+        if dense:
+            contrib = _np.zeros(len(indices) + 1, dtype=_np.int64)
+            _np.cumsum(alive[indices], out=contrib[1:])
+            ptr = indptr.astype(_np.int64)
+            degree_arrays.append(contrib[ptr[1:]] - contrib[ptr[:-1]])
+            continue
+        flat, bounds = _gather_rows(indptr, indices, member_arr)
+        sums = _np.zeros(len(flat) + 1, dtype=_np.int64)
+        _np.cumsum(alive[flat], out=sums[1:])
+        degrees = _np.zeros(n, dtype=_np.int64)
+        degrees[member_arr] = sums[bounds[1:]] - sums[bounds[:-1]]
+        degree_arrays.append(degrees)
+    return degree_arrays
+
+
+def _below_threshold(candidates, degree_arrays, d):
+    """The subset of ``candidates`` below ``d`` on any layer."""
+    below = _np.zeros(candidates.size, dtype=_np.bool_)
+    for degrees in degree_arrays:
+        below |= degrees[candidates] < d
+    return candidates[below]
+
+
+def _peel_rounds(graph, layer_tuple, d, alive, frontier, degree_arrays):
+    """Run the cascade to its fixed point; the number of peeled vertices.
+
+    Round-based: the whole frontier is marked dead, then every layer's
+    frontier rows are gathered at once and the surviving neighbours'
+    degrees are decremented by scatter (``bincount`` for fat frontiers,
+    ``np.subtract.at`` for thin ones).  The next frontier is the set of
+    touched, still-alive vertices now below ``d`` on some layer — the
+    same unique fixed point, and the same removed-vertex count, as the
+    python tier's sequential FIFO.
+    """
+    csr = [graph._np_csr(layer) for layer in layer_tuple]
+    n = graph.num_vertices
+    peeled = 0
+    while frontier.size:
+        alive[frontier] = False
+        peeled += frontier.size
+        touched = []
+        for (indptr, indices), degrees in zip(csr, degree_arrays):
+            flat, _ = _gather_rows(indptr, indices, frontier)
+            live = flat[alive[flat]]
+            if live.size:
+                if 4 * live.size > n:
+                    degrees -= _np.bincount(live, minlength=n)
+                else:
+                    _np.subtract.at(degrees, live, 1)
+                touched.append(live)
+        if not touched:
+            break
+        candidates = _np.unique(_np.concatenate(touched))
+        candidates = candidates[alive[candidates]]
+        frontier = _below_threshold(candidates, degree_arrays, d)
+    return peeled
+
+
+# ----------------------------------------------------------------------
+# the numpy kernels
+# ----------------------------------------------------------------------
+
+
+def np_induced_degrees(graph, layer, within=None):
+    """Numpy tier of :meth:`FrozenMultiLayerGraph.induced_degrees`."""
+    if within is None:
+        degrees = graph._np_degrees(layer)
+        return dict(zip(range(graph.num_vertices), degrees.tolist()))
+    alive, member_arr, members = _member_state(graph, within)
+    (degrees,) = _induced_degree_arrays(
+        graph, (layer,), alive, member_arr, full=False
+    )
+    return dict(zip(members, degrees[member_arr].tolist()))
+
+
+def np_layer_core(graph, layer, d, within=None):
+    """Numpy tier of :func:`repro.graph.frozen.frozen_layer_core`."""
+    alive, member_arr, members = _member_state(graph, within)
+    if d == 0:
+        return set(members)
+    degree_arrays = _induced_degree_arrays(
+        graph, (layer,), alive, member_arr, full=within is None
+    )
+    frontier = _below_threshold(member_arr, degree_arrays, d)
+    _peel_rounds(graph, (layer,), d, alive, frontier, degree_arrays)
+    return set(member_arr[alive[member_arr]].tolist())
+
+
+def np_coherent_core(graph, layer_tuple, d, within=None, stats=None):
+    """Numpy tier of :func:`repro.graph.frozen.frozen_coherent_core`.
+
+    ``stats.peel_operations`` advances by the number of removed
+    vertices — exactly the python tier's per-dequeue count, because a
+    vertex is dequeued precisely once per removal in either tier.
+    """
+    alive, member_arr, members = _member_state(graph, within)
+    if d == 0:
+        return frozenset(members)
+    degree_arrays = _induced_degree_arrays(
+        graph, layer_tuple, alive, member_arr, full=within is None
+    )
+    frontier = _below_threshold(member_arr, degree_arrays, d)
+    peeled = _peel_rounds(graph, layer_tuple, d, alive, frontier,
+                          degree_arrays)
+    if stats is not None:
+        stats.peel_operations += peeled
+    return frozenset(member_arr[alive[member_arr]].tolist())
+
+
+def np_core_decomposition(graph, layer, within=None):
+    """Numpy tier of the full core decomposition of one layer.
+
+    Ascending-threshold cascade: the ``d``-threshold peel removes
+    exactly the vertices with core number ``d - 1``, and every vertex is
+    removed once overall, so the total work stays O(n + m) plus one
+    frontier scan of the shrinking member set per threshold.  Returns
+    ``{vertex: core number}`` equal to
+    :func:`repro.core.dcore.core_decomposition` on the layer's adjacency.
+    """
+    alive, member_arr, members = _member_state(graph, within)
+    degree_arrays = _induced_degree_arrays(
+        graph, (layer,), alive, member_arr, full=within is None
+    )
+    core = _np.zeros(graph.num_vertices, dtype=_np.int64)
+    remaining = member_arr
+    d = 1
+    while remaining.size:
+        frontier = _below_threshold(remaining, degree_arrays, d)
+        if frontier.size:
+            _peel_rounds(graph, (layer,), d, alive, frontier, degree_arrays)
+            survivors = alive[remaining]
+            core[remaining[~survivors]] = d - 1
+            remaining = remaining[survivors]
+        d += 1
+    return dict(zip(members, core[member_arr].tolist()))

@@ -19,10 +19,10 @@ run as one JSON document::
 ``figure1``, or graph-file paths — whatever the caller's loader
 accepts); ``queries`` is a list of :meth:`DCCHost.search_many` specs,
 each naming its graph.  Optional top-level ``max_engines``,
-``memory_budget_bytes``, ``max_pending``, ``result_cache_entries`` and
-``result_cache_ttl`` feed admission control, the async layer's
-backpressure and its cross-time result cache; command-line flags
-override them.
+``memory_budget_bytes``, ``max_pending``, ``result_cache_entries``,
+``result_cache_ttl`` and ``kernel`` feed admission control, the async
+layer's backpressure, its cross-time result cache and the peel-kernel
+tier; command-line flags override them.
 ``repro serve`` reuses the same document shape with ``queries``
 optional (``require_queries=False``).
 
@@ -95,7 +95,7 @@ def parse_host_spec(payload, require_queries=True):
         queries.append(entry)
     settings = {}
     for key in ("max_engines", "memory_budget_bytes", "max_pending",
-                "result_cache_entries", "result_cache_ttl"):
+                "result_cache_entries", "result_cache_ttl", "kernel"):
         if payload.get(key) is not None:
             settings[key] = payload[key]
     return graphs, queries, settings

@@ -2,14 +2,24 @@
 
 A parallel search ships its graph to every worker process exactly once —
 through the pool initializer, never per task.  For the frozen CSR backend
-that payload is the flat arrays themselves: each ``array.array`` pickles
-as one contiguous machine-typed buffer (the ``array`` reconstructor plus
-``tobytes()``), so an n-vertex, l-layer graph crosses the process
-boundary as ``2l`` buffers plus the label table, with no per-edge Python
-object overhead.  The dict backend is shipped as its edge list and
-rebuilt on the other side; it exists mainly so the ``jobs=`` option works
-on either backend, the frozen representation is the one the parallel
-subsystem is designed around.
+that payload is the flat arrays themselves: each CSR buffer pickles as
+one contiguous machine-typed block (``array.array`` via its
+reconstructor-plus-``tobytes()`` protocol, numpy arrays via the buffer
+protocol when the numpy kernel tier built them), so an n-vertex, l-layer
+graph crosses the process boundary as ``2l`` buffers plus the label
+table, with no per-edge Python object overhead.  A ``range`` label table
+— what the synthetic generator produces for million-vertex graphs — is
+shipped as the ``range`` object itself (three integers), never
+materialised into a list.  The dict backend is shipped as its edge list
+and rebuilt on the other side; it exists mainly so the ``jobs=`` option
+works on either backend, the frozen representation is the one the
+parallel subsystem is designed around.
+
+The payload also carries the graph's *kernel tier*, so a pool worker
+peels with the same tier the parent resolved.  Reconstruction coerces
+rather than resolves it: a worker whose interpreter lacks numpy silently
+falls back to the python tier instead of refusing the payload — results
+are bitwise identical between tiers, so the fallback is safe.
 
 Reconstruction bypasses :meth:`FrozenMultiLayerGraph.from_graph` — the
 dense-id assignment was already done on the parent's side, and re-sorting
@@ -18,6 +28,7 @@ authoritative id order.
 """
 
 from repro.graph.frozen import FrozenMultiLayerGraph
+from repro.graph.kernels import coerce_kernel
 from repro.graph.multilayer import MultiLayerGraph
 
 
@@ -25,21 +36,25 @@ def graph_payload(graph):
     """A picklable payload for ``graph``; see :func:`payload_graph`.
 
     Frozen graphs contribute their CSR arrays, edge counts, layer
-    bitmasks and label table verbatim (lazy caches are *not* shipped —
-    workers rebuild the mirrors they actually touch).  Dict graphs
-    contribute an explicit vertex list plus per-layer edge lists, so the
-    worker-side reconstruction is identical for every worker no matter
-    how the parent's hash order happened to fall out.
+    bitmasks, label table and kernel tier verbatim (lazy caches are
+    *not* shipped — workers rebuild the mirrors they actually touch).
+    Dict graphs contribute an explicit vertex list plus per-layer edge
+    lists, so the worker-side reconstruction is identical for every
+    worker no matter how the parent's hash order happened to fall out.
     """
     if getattr(graph, "is_frozen", False):
+        labels = graph.labels
+        if type(labels) is not range:
+            labels = list(labels)
         return (
             "frozen",
             graph.name,
-            list(graph.labels),
+            labels,
             graph._indptr,
             graph._indices,
             list(graph._edge_counts),
             list(graph._layer_masks),
+            graph.kernel,
         )
     vertices = list(graph.vertices())
     try:
@@ -56,9 +71,11 @@ def payload_graph(payload):
     """Rebuild the graph behind a :func:`graph_payload` tuple."""
     kind = payload[0]
     if kind == "frozen":
-        _, name, labels, indptr, indices, edge_counts, layer_masks = payload
+        (_, name, labels, indptr, indices, edge_counts, layer_masks,
+         kernel) = payload
         return FrozenMultiLayerGraph(
-            labels, indptr, indices, edge_counts, layer_masks, name=name
+            labels, indptr, indices, edge_counts, layer_masks, name=name,
+            kernel=coerce_kernel(kernel),
         )
     if kind == "dict":
         _, name, num_layers, vertices, edges = payload

@@ -654,7 +654,10 @@ class TestScratchArena:
         assert active_scratch() is None
 
     def test_arena_actually_reuses_buffers(self):
+        # The scratch arena is a python-tier mechanism; the numpy kernel
+        # never touches it, so pin the tier the test is about.
         frozen = paper_figure1_graph().freeze()
+        frozen.set_kernel("python")
         arena = ScratchArena()
         with arena:
             frozen_coherent_core(frozen, (0, 1), 3)

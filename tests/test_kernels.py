@@ -1,0 +1,363 @@
+"""The kernel-tier contract: numpy peel kernels are invisible.
+
+Three layers of guarantees, all enforced here:
+
+* **flag semantics** — ``kernel=auto|python|numpy`` validation, the
+  auto-resolution rule (numpy exactly when importable), the hard error
+  on an explicit ``"numpy"`` request without numpy, and the lenient
+  worker-payload coercion that falls back instead of crashing a pool;
+* **bitwise equivalence** — for every frozen-backend primitive
+  (induced degrees, layer core, coherent core, core decomposition) and
+  for full ``search_dccs`` runs across methods, jobs counts and warm
+  caches, the two tiers return identical values, labels, cover sizes
+  and ``SearchStats`` counters;
+* **bookkeeping honesty** — ``memory_bytes`` counts numpy-backed CSR
+  storage and lazily-built degree vectors, and the synthetic generator
+  builds the same graph with or without numpy installed.
+
+The suite runs in both CI legs: with numpy it exercises the real numpy
+kernels; without numpy the equivalence tests skip and the flag/fallback
+tests prove the pure-Python path is what ``"auto"`` serves.
+"""
+
+import asyncio
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import repro.datasets.synthetic as synthetic_module
+import repro.graph.kernels as kernels_module
+from repro.aio import AsyncDCCHost
+from repro.core import search_dccs
+from repro.core.dcore import core_decomposition, layer_core_decomposition
+from repro.core.stats import SearchStats
+from repro.datasets import synthetic_multilayer
+from repro.engine import DCCEngine
+from repro.graph import paper_figure1_graph
+from repro.graph.frozen import frozen_coherent_core, frozen_layer_core
+from repro.graph.kernels import (
+    KERNELS,
+    buffer_nbytes,
+    check_kernel,
+    coerce_kernel,
+    numpy_available,
+    numpy_version,
+    resolve_kernel,
+)
+from repro.parallel.serialize import graph_payload, payload_graph
+from repro.utils.errors import ParameterError
+
+from tests.strategies import multilayer_graphs
+
+needs_numpy = pytest.mark.skipif(
+    not numpy_available(), reason="numpy kernel tier not importable"
+)
+
+
+# ----------------------------------------------------------------------
+# flag semantics
+# ----------------------------------------------------------------------
+
+
+class TestKernelFlag:
+    def test_flag_universe(self):
+        assert KERNELS == ("auto", "python", "numpy")
+        for kernel in KERNELS:
+            assert check_kernel(kernel) == kernel
+
+    @pytest.mark.parametrize("bad", ["fast", "", None, 1, "NUMPY"])
+    def test_bad_flag_rejected(self, bad):
+        with pytest.raises(ParameterError):
+            check_kernel(bad)
+        with pytest.raises(ParameterError):
+            resolve_kernel(bad)
+
+    def test_auto_resolution_follows_numpy(self):
+        expected = "numpy" if numpy_available() else "python"
+        assert resolve_kernel("auto") == expected
+        assert resolve_kernel("python") == "python"
+
+    def test_version_reporting(self):
+        if numpy_available():
+            assert isinstance(numpy_version(), str)
+        else:
+            assert numpy_version() is None
+
+    def test_numpyless_interpreter_fallback(self, monkeypatch):
+        monkeypatch.setattr(kernels_module, "_np", None)
+        assert not numpy_available()
+        assert numpy_version() is None
+        assert resolve_kernel("auto") == "python"
+        with pytest.raises(ParameterError, match="fast"):
+            resolve_kernel("numpy")
+        # Worker payloads coerce instead of raising: a degraded worker
+        # serves on the python tier rather than crashing the pool.
+        assert coerce_kernel("numpy") == "python"
+        assert coerce_kernel("auto") == "python"
+        assert coerce_kernel("garbage") == "python"
+        # And the whole search stack still runs on kernel="auto".
+        result = search_dccs(paper_figure1_graph(), 3, 2, 2,
+                             backend="frozen", kernel="auto")
+        assert result.cover_size == 13
+
+    def test_explicit_numpy_fails_eagerly_everywhere(self, monkeypatch):
+        monkeypatch.setattr(kernels_module, "_np", None)
+        graph = paper_figure1_graph()
+        with pytest.raises(ParameterError):
+            search_dccs(graph, 3, 2, 2, kernel="numpy")
+        with pytest.raises(ParameterError):
+            DCCEngine(graph, kernel="numpy")
+        from repro.host import DCCHost
+
+        with pytest.raises(ParameterError):
+            DCCHost(kernel="numpy")
+        with DCCHost() as host:
+            with pytest.raises(ParameterError):
+                host.attach("g", graph, kernel="numpy")
+
+    def test_set_kernel_is_execution_preference(self):
+        frozen = paper_figure1_graph().freeze()
+        resolved = frozen.set_kernel("auto")
+        assert resolved == resolve_kernel("auto")
+        assert frozen.kernel == resolved
+        before = frozen_coherent_core(frozen, (0, 1), 3)
+        assert frozen.set_kernel("python") == "python"
+        assert frozen_coherent_core(frozen, (0, 1), 3) == before
+
+
+# ----------------------------------------------------------------------
+# primitive equivalence (hypothesis)
+# ----------------------------------------------------------------------
+
+
+@needs_numpy
+class TestPrimitiveEquivalence:
+    @given(multilayer_graphs(max_vertices=9, max_layers=3), st.data())
+    @settings(max_examples=25, deadline=None)
+    def test_primitives_bitwise_identical(self, graph, data):
+        frozen = graph.freeze()
+        d = data.draw(st.integers(min_value=0, max_value=4))
+        layers = tuple(range(frozen.num_layers))
+        within = data.draw(st.one_of(
+            st.none(),
+            st.lists(st.integers(min_value=-1,
+                                 max_value=frozen.num_vertices),
+                     max_size=frozen.num_vertices + 2),
+        ))
+        outputs = {}
+        for kernel in ("python", "numpy"):
+            frozen.set_kernel(kernel)
+            stats = SearchStats()
+            outputs[kernel] = (
+                frozen.induced_degrees(0, within),
+                frozen_layer_core(frozen, 0, d, within=within),
+                frozen_coherent_core(frozen, layers, d, within=within,
+                                     stats=stats),
+                stats.peel_operations,
+                layer_core_decomposition(frozen, 0, within=within),
+            )
+        assert outputs["python"] == outputs["numpy"]
+
+    @given(multilayer_graphs(max_vertices=9, max_layers=2))
+    @settings(max_examples=15, deadline=None)
+    def test_core_decomposition_matches_dict_reference(self, graph):
+        frozen = graph.freeze()
+        frozen.set_kernel("numpy")
+        assert layer_core_decomposition(frozen, 0) == core_decomposition(
+            graph.adjacency(0)
+        )
+
+
+# ----------------------------------------------------------------------
+# whole-search equivalence
+# ----------------------------------------------------------------------
+
+
+def _snapshot(result):
+    return (
+        [set(members) for members in result.sets],
+        list(result.labels),
+        result.cover_size,
+        result.stats.as_dict(),
+    )
+
+
+@needs_numpy
+class TestSearchEquivalence:
+    @given(multilayer_graphs(max_vertices=9, max_layers=3), st.data())
+    @settings(max_examples=10, deadline=None)
+    def test_methods_identical_across_tiers(self, graph, data):
+        d = data.draw(st.integers(min_value=1, max_value=3))
+        s = data.draw(st.integers(min_value=1, max_value=graph.num_layers))
+        k = data.draw(st.integers(min_value=1, max_value=3))
+        method = data.draw(st.sampled_from(
+            ("greedy", "bottom-up", "top-down")
+        ))
+        runs = {
+            kernel: _snapshot(search_dccs(
+                graph, d, s, k, method=method, backend="frozen",
+                kernel=kernel, seed=0,
+            ))
+            for kernel in ("python", "numpy")
+        }
+        assert runs["python"] == runs["numpy"]
+
+    @pytest.mark.parametrize("jobs", [None, 1, 2])
+    def test_jobs_identical_across_tiers(self, jobs):
+        dataset = synthetic_multilayer(600, num_layers=3,
+                                       num_communities=4,
+                                       community_size=30, d=3, span=2,
+                                       seed=5)
+        runs = {
+            kernel: _snapshot(search_dccs(
+                dataset.graph, 3, 2, 3, method="greedy",
+                backend="frozen", kernel=kernel, jobs=jobs,
+            ))
+            for kernel in ("python", "numpy")
+        }
+        assert runs["python"] == runs["numpy"]
+
+    def test_warm_artifact_cache_replay_identical(self):
+        graph = paper_figure1_graph()
+        snapshots = {}
+        for kernel in ("python", "numpy"):
+            with DCCEngine(graph, backend="frozen", jobs=1,
+                           kernel=kernel) as engine:
+                cold = _snapshot(engine.search(3, 2, 2, method="greedy"))
+                warm = _snapshot(engine.search(3, 2, 2, method="greedy"))
+                assert engine.info()["cache_hits"] > 0
+            assert cold == warm
+            snapshots[kernel] = warm
+        assert snapshots["python"] == snapshots["numpy"]
+
+    def test_warm_result_cache_replay_identical(self):
+        spec = {"graph": "g", "d": 3, "s": 2, "k": 2, "method": "greedy"}
+        snapshots = {}
+        for kernel in ("python", "numpy"):
+            host = AsyncDCCHost(backend="frozen", jobs=1, kernel=kernel)
+            host.attach("g", paper_figure1_graph())
+
+            async def run():
+                first = await host.search_many([spec])
+                second = await host.search_many([spec])
+                info = host.info()
+                await host.aclose()
+                return first, second, info
+
+            first, second, info = asyncio.run(run())
+            assert info["requests_cached"] >= 1
+            assert _snapshot(first[0]) == _snapshot(second[0])
+            snapshots[kernel] = _snapshot(second[0])
+        assert snapshots["python"] == snapshots["numpy"]
+
+    def test_worker_payload_carries_kernel(self):
+        frozen = paper_figure1_graph().freeze()
+        frozen.set_kernel("numpy")
+        rebuilt = payload_graph(graph_payload(frozen))
+        assert rebuilt == frozen
+        assert rebuilt.kernel == "numpy"
+        frozen.set_kernel("python")
+        assert payload_graph(graph_payload(frozen)).kernel == "python"
+
+    def test_payload_coerces_in_numpyless_worker(self, monkeypatch):
+        frozen = paper_figure1_graph().freeze()
+        frozen.set_kernel(resolve_kernel("auto"))
+        expected = frozen_coherent_core(frozen, (0, 1), 3)
+        payload = graph_payload(frozen)
+        monkeypatch.setattr(kernels_module, "_np", None)
+        rebuilt = payload_graph(payload)
+        assert rebuilt.kernel == "python"
+        assert frozen_coherent_core(rebuilt, (0, 1), 3) == expected
+
+
+# ----------------------------------------------------------------------
+# bookkeeping
+# ----------------------------------------------------------------------
+
+
+class TestMemoryAccounting:
+    def test_memory_bytes_counts_csr_buffers(self):
+        graph = synthetic_multilayer(2000, num_communities=4,
+                                     community_size=40, seed=1).graph
+        floor = sum(
+            buffer_nbytes(graph._indptr[layer])
+            + buffer_nbytes(graph._indices[layer])
+            for layer in graph.layers()
+        )
+        assert graph.memory_bytes() >= floor
+
+    @needs_numpy
+    def test_memory_bytes_counts_lazy_degree_vectors(self):
+        graph = synthetic_multilayer(2000, num_communities=4,
+                                     community_size=40, seed=1).graph
+        graph.set_kernel("numpy")
+        before = graph.memory_bytes()
+        frozen_layer_core(graph, 0, 3)  # builds the layer's degree vector
+        assert graph.memory_bytes() > before
+
+
+class TestSyntheticGenerator:
+    def test_seeded_determinism(self):
+        a = synthetic_multilayer(1500, num_communities=3,
+                                 community_size=50, seed=9)
+        b = synthetic_multilayer(1500, num_communities=3,
+                                 community_size=50, seed=9)
+        c = synthetic_multilayer(1500, num_communities=3,
+                                 community_size=50, seed=10)
+        assert a.graph == b.graph
+        assert a.graph != c.graph
+        assert a.communities == b.communities
+
+    def test_identical_with_and_without_numpy(self, monkeypatch):
+        with_numpy = synthetic_multilayer(800, num_communities=3,
+                                          community_size=30, seed=2)
+        monkeypatch.setattr(synthetic_module, "_np", None)
+        without = synthetic_multilayer(800, num_communities=3,
+                                       community_size=30, seed=2)
+        assert with_numpy.graph == without.graph
+
+    def test_planted_degree_guarantee(self):
+        d = 5
+        dataset = synthetic_multilayer(3000, num_layers=4,
+                                       num_communities=6,
+                                       community_size=d + 2, d=d, span=2,
+                                       seed=4)
+        windows = dataset.graph.num_layers - 2 + 1
+        for c, community in enumerate(dataset.communities):
+            start = c % windows
+            for layer in range(start, start + 2):
+                degrees = dataset.graph.induced_degrees(layer, community)
+                assert min(degrees.values()) >= d
+
+    def test_recovers_planted_communities(self):
+        dataset = synthetic_multilayer(5000, num_layers=3,
+                                       num_communities=6,
+                                       community_size=40, d=4, span=2,
+                                       seed=7)
+        result = search_dccs(dataset.graph, 4, 2, 4, method="greedy")
+        reported = [set(members) for members in result.sets]
+        for community in dataset.communities:
+            assert any(community <= found for found in reported)
+
+    def test_parameter_validation(self):
+        with pytest.raises(ParameterError):
+            synthetic_multilayer(100, community_size=4, d=4)
+        with pytest.raises(ParameterError):
+            synthetic_multilayer(100, num_communities=10,
+                                 community_size=20)
+        with pytest.raises(ParameterError):
+            synthetic_multilayer(100, span=5, num_layers=3,
+                                 num_communities=1, community_size=10)
+        with pytest.raises(ParameterError):
+            synthetic_multilayer(100, d=0, num_communities=1,
+                                 community_size=10)
+
+    def test_labels_are_identity_range(self):
+        graph = synthetic_multilayer(500, num_communities=2,
+                                     community_size=20, seed=0).graph
+        assert type(graph.labels) is range
+        assert graph.id_of(123) == 123
+        payload = graph_payload(graph)
+        assert type(payload[2]) is range  # shipped as a range, not a list
+        assert payload_graph(payload) == graph
