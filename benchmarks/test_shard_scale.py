@@ -1,0 +1,141 @@
+"""Shard-scale benchmark: one 500k-vertex graph served whole vs cut.
+
+The acceptance scenario for the sharded execution pipeline
+(:mod:`repro.shard`), measured honestly at scale:
+
+* the seeded 500k-vertex :func:`synthetic_multilayer` graph is searched
+  by all three methods through an unsharded :class:`DCCEngine`, a
+  2-shard and a 4-shard :class:`ShardedEngine`;
+* every sharded result — sets, labels, cover and the full counter
+  dict — is asserted bitwise identical to the unsharded run, in the
+  same process, on the same graph;
+* the 4-shard leg runs through a :class:`DCCHost` whose memory budget
+  is *smaller than the graph's frozen bytes*: per-shard admission
+  (``budget_bytes()`` charges the largest single shard) is what lets
+  the over-budget graph be admitted and served at all.
+
+The recorded table is the latency picture, not a speed claim: the
+distributed scatter/gather peel is pure Python while the unsharded
+engine peels through the numpy kernel tier when available, so sharding
+buys *memory admission*, and this file records what it costs.
+"""
+
+from time import perf_counter
+
+from repro.datasets import synthetic_multilayer
+from repro.engine import DCCEngine
+from repro.host import DCCHost
+from repro.shard import ShardedEngine
+
+from benchmarks._shared import record
+
+NUM_VERTICES = 500_000
+D, S, K = 4, 2, 4
+METHODS = ("greedy", "bottom-up", "top-down")
+BUDGET_FRACTION = 0.5
+
+
+def _graph():
+    return synthetic_multilayer(
+        NUM_VERTICES,
+        num_layers=3,
+        num_communities=200,
+        community_size=80,
+        d=D,
+        span=2,
+        noise_degree=2.0,
+        seed=11,
+        name="shard-scale",
+    ).graph
+
+
+def _identical(first, second):
+    return (
+        first.sets == second.sets
+        and first.labels == second.labels
+        and first.cover_size == second.cover_size
+        and first.stats.as_dict() == second.stats.as_dict()
+    )
+
+
+def test_shard_scale_report(benchmark):
+    state = {}
+
+    def run_all():
+        start = perf_counter()
+        graph = _graph()
+        state["build_s"] = perf_counter() - start
+        state["graph_bytes"] = graph.memory_bytes()
+        timings = {method: {} for method in METHODS}
+        reference = {}
+        with DCCEngine(graph, jobs=1) as engine:
+            for method in METHODS:
+                start = perf_counter()
+                reference[method] = engine.search(D, S, K, method=method)
+                timings[method]["unsharded"] = perf_counter() - start
+        with ShardedEngine(graph, shards=2, jobs=1) as engine:
+            for method in METHODS:
+                start = perf_counter()
+                result = engine.search(D, S, K, method=method)
+                timings[method]["2 shards"] = perf_counter() - start
+                assert _identical(result, reference[method]), method
+        # The 4-shard leg is the admission story: a host budgeted below
+        # the graph's own frozen bytes admits it anyway, because a
+        # sharded session is charged for its largest shard only.
+        budget = int(state["graph_bytes"] * BUDGET_FRACTION)
+        with DCCHost(memory_budget_bytes=budget, jobs=1) as host:
+            host.attach("big", graph, shards=4)
+            engine = host.engine("big")
+            state["budget"] = budget
+            state["admission_charge"] = engine.budget_bytes()
+            assert state["admission_charge"] <= budget
+            assert state["graph_bytes"] > budget
+            for method in METHODS:
+                start = perf_counter()
+                result = host.search("big", D, S, K, method=method)
+                timings[method]["4 shards (hosted)"] = \
+                    perf_counter() - start
+                assert _identical(result, reference[method]), method
+            assert host.resident() == ("big",)
+            assert host.evictions == 0
+        state["cover"] = reference["greedy"].cover_size
+        state["timings"] = timings
+        return state
+
+    benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    columns = ("unsharded", "2 shards", "4 shards (hosted)")
+    lines = [
+        "Shard scale — one {:,}-vertex synthetic_multilayer graph "
+        "(3 layers, 200 planted communities, d={}, seed 11) served "
+        "whole vs partitioned".format(NUM_VERTICES, D),
+        "",
+        "build: {:.1f} s, frozen CSR {:,} bytes; queries are "
+        "(d={}, s={}, k={}), greedy cover {}".format(
+            state["build_s"], state["graph_bytes"], D, S, K,
+            state["cover"]),
+        "",
+        "{:<12s}  {:>11s}  {:>11s}  {:>18s}".format(
+            "method", *columns),
+    ]
+    for method in METHODS:
+        lines.append("{:<12s}  {:>9.3f} s  {:>9.3f} s  {:>16.3f} s".format(
+            method, *(state["timings"][method][col] for col in columns)))
+    lines += [
+        "",
+        "bitwise-identical sets/labels/cover/stats asserted per method "
+        "and shard count in this run: yes",
+        "host admission: memory_budget_bytes {:,} < graph bytes {:,}; "
+        "admission charge (largest shard) {:,} — admitted and served "
+        "with 0 evictions".format(
+            state["budget"], state["graph_bytes"],
+            state["admission_charge"]),
+        "note: the distributed peel is pure Python; the unsharded "
+        "column uses the numpy kernel tier when available.  Sharding "
+        "buys admission of graphs no single engine may hold, at the "
+        "latency recorded above.",
+    ]
+    record("shard_scale", "\n".join(lines))
+
+    assert state["graph_bytes"] > state["budget"]
+    assert state["admission_charge"] <= state["budget"]

@@ -61,16 +61,25 @@ def resolve_method(num_layers, method, s, options):
 
 
 def _engine_one_shot(graph, d, s, k, method, backend, jobs, kernel,
-                     options):
+                     shards, options):
     """Route one search through a short-lived :class:`DCCEngine`.
 
     ``search_dccs(..., jobs=N)`` *is* an engine session of length one:
     the engine resolves the backend, spawns the pool, runs the sharded
     search and translates the results, and is closed before returning —
     which is exactly what makes its output bitwise identical to a warm
-    engine serving the same query.  Imported lazily: the engine pulls in
-    multiprocessing plumbing that purely sequential callers never need.
+    engine serving the same query.  ``shards=N`` (``N > 1``) selects a
+    :class:`~repro.shard.engine.ShardedEngine` — the graph partitioned
+    into N blocks, results still bitwise identical.  Imported lazily:
+    the engine pulls in multiprocessing plumbing that purely sequential
+    callers never need.
     """
+    if shards is not None and shards > 1:
+        from repro.shard.engine import ShardedEngine
+
+        with ShardedEngine(graph, shards=shards, backend=backend,
+                           jobs=jobs, kernel=kernel) as engine:
+            return engine.search(d, s, k, method=method, **options)
     from repro.engine import DCCEngine
 
     with DCCEngine(graph, backend=backend, jobs=jobs,
@@ -79,7 +88,7 @@ def _engine_one_shot(graph, d, s, k, method, backend, jobs, kernel,
 
 
 def search_dccs(graph, d, s, k, method="auto", backend="auto", jobs=None,
-                kernel="auto", **options):
+                kernel="auto", shards=None, **options):
     """Find the top-k diversified d-CCs of ``graph`` on ``s`` layers.
 
     Parameters
@@ -117,6 +126,16 @@ def search_dccs(graph, d, s, k, method="auto", backend="auto", jobs=None,
         the wall clock differs; a non-``"auto"`` choice is remembered on
         the resolved frozen graph for subsequent searches over it.  The
         dict backend has one implementation and ignores the flag.
+    shards:
+        ``None`` (default) serves the graph whole.  ``N > 1``
+        partitions the frozen graph into ``N`` vertex-range blocks and
+        runs the distributed scatter/gather peel over them (see
+        :mod:`repro.shard`) — results are bitwise identical to the
+        unsharded run for every ``N``.  Any non-``None`` value implies
+        an engine session (``1`` is an unsharded engine, the baseline
+        the sharded runs are bitwise equal to), so ``jobs=None`` is
+        treated as ``jobs=1``; ``N > 1`` is incompatible with
+        ``backend="dict"``.
     options:
         Forwarded to the chosen algorithm (preprocessing and pruning
         switches, ``seed`` for top-down, ``stats``).
@@ -139,12 +158,17 @@ def search_dccs(graph, d, s, k, method="auto", backend="auto", jobs=None,
     # Validate eagerly (and fail an explicit "numpy" request in a
     # numpy-less interpreter) no matter which backend ends up serving.
     resolve_kernel(kernel)
-    if jobs is not None:
+    if shards is not None:
+        from repro.shard.partition import check_shards
+
+        check_shards(shards)
+    if jobs is not None or shards is not None:
         from repro.parallel import check_jobs
 
         check_jobs(jobs)
-        return _engine_one_shot(graph, d, s, k, method, backend, jobs,
-                                kernel, options)
+        return _engine_one_shot(graph, d, s, k, method, backend,
+                                1 if jobs is None else jobs,
+                                kernel, shards, options)
     # Backend resolution (a possible O(n + m) freeze — cached on the
     # graph, so repeated searches pay it once) and the final id-to-label
     # translation are charged to the result's elapsed time: reported

@@ -319,6 +319,16 @@ class DCCEngine:
         """
         return self._graph.memory_bytes()
 
+    def budget_bytes(self):
+        """What admission control charges this session against the budget.
+
+        Equal to :meth:`memory_bytes` for an unsharded engine; a
+        :class:`~repro.shard.engine.ShardedEngine` overrides it to its
+        largest single shard, because sharding exists precisely so no
+        one engine holds the whole graph at once.
+        """
+        return self.memory_bytes()
+
     def info(self):
         """Pool and cache status for monitoring (and ``repro info``)."""
         cache_stats = self._cache.stats() if self._cache is not None else {

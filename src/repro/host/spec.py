@@ -18,11 +18,12 @@ run as one JSON document::
 ``graphs`` maps host-local names to graph *sources* (dataset names,
 ``figure1``, or graph-file paths — whatever the caller's loader
 accepts); ``queries`` is a list of :meth:`DCCHost.search_many` specs,
-each naming its graph.  Optional top-level ``max_engines``,
-``memory_budget_bytes``, ``max_pending``, ``result_cache_entries``,
-``result_cache_ttl`` and ``kernel`` feed admission control, the async
-layer's backpressure, its cross-time result cache and the peel-kernel
-tier; command-line flags override them.
+each naming its graph.  Optional top-level settings
+(:data:`SETTINGS_KEYS`) feed admission control, the async layer's
+backpressure, its cross-time result cache, the peel-kernel tier and the
+per-graph shard count; command-line flags override them.  Any *other*
+top-level key is rejected by name — a typo like ``"kernal"`` must fail
+loudly, not silently configure nothing.
 ``repro serve`` reuses the same document shape with ``queries``
 optional (``require_queries=False``).
 
@@ -34,6 +35,20 @@ dataset machinery.
 from collections import OrderedDict
 
 from repro.utils.errors import ParameterError
+
+# The recognised top-level settings knobs, in documentation order.
+SETTINGS_KEYS = (
+    "max_engines",
+    "memory_budget_bytes",
+    "max_pending",
+    "result_cache_entries",
+    "result_cache_ttl",
+    "kernel",
+    "shards",
+)
+
+# Top-level keys that are structure, not settings.
+_STRUCTURAL_KEYS = ("graphs", "queries")
 
 
 def _require(condition, message):
@@ -58,6 +73,11 @@ def parse_host_spec(payload, require_queries=True):
     _require(isinstance(payload, dict),
              "host spec must be a JSON object, got {!r}".format(
                  type(payload).__name__))
+    accepted = _STRUCTURAL_KEYS + SETTINGS_KEYS
+    for key in payload:
+        _require(key in accepted,
+                 "unknown host-spec key {!r}; accepted keys are "
+                 "{}".format(key, ", ".join(accepted)))
     graphs_field = payload.get("graphs")
     _require(isinstance(graphs_field, dict) and graphs_field,
              "host spec needs a non-empty \"graphs\" object mapping "
@@ -94,8 +114,7 @@ def parse_host_spec(payload, require_queries=True):
                          number, key))
         queries.append(entry)
     settings = {}
-    for key in ("max_engines", "memory_budget_bytes", "max_pending",
-                "result_cache_entries", "result_cache_ttl", "kernel"):
+    for key in SETTINGS_KEYS:
         if payload.get(key) is not None:
             settings[key] = payload[key]
     return graphs, queries, settings

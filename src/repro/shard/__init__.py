@@ -1,0 +1,32 @@
+"""Sharded graph execution: partition, execute, merge.
+
+One graph cut into N independently shippable blocks
+(:class:`GraphShard`, by :class:`Partitioner`), served behind the
+backend protocol by :class:`ShardedGraph`, inside a standard engine
+session by :class:`ShardedEngine`.  See ``docs/architecture.md`` for
+the pipeline and the determinism contract.
+"""
+
+from repro.shard.engine import ShardedEngine
+from repro.shard.executor import ShardExecutor
+from repro.shard.graph import ShardedGraph
+from repro.shard.partition import (
+    MAX_SHARDS,
+    STRATEGIES,
+    GraphShard,
+    Partitioner,
+    check_shards,
+    check_strategy,
+)
+
+__all__ = [
+    "MAX_SHARDS",
+    "STRATEGIES",
+    "GraphShard",
+    "Partitioner",
+    "ShardExecutor",
+    "ShardedEngine",
+    "ShardedGraph",
+    "check_shards",
+    "check_strategy",
+]

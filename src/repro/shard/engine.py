@@ -1,0 +1,146 @@
+"""A :class:`DCCEngine` whose graph is partitioned across N shards.
+
+:class:`ShardedEngine` is the execute stage's session owner in the
+plan → execute → merge pipeline: it binds exactly like its base class —
+resolve the backend, spin up the persistent worker pool, artifact cache
+and scratch arena — except the resolved frozen graph is immediately cut
+by a :class:`~repro.shard.partition.Partitioner` and the session runs
+against the resulting :class:`~repro.shard.graph.ShardedGraph`.  Before
+each search the engine builds a :class:`~repro.parallel.plan.ShardPlan`
+for the query spec and installs it on the graph, so every peel routes
+through an explicit plan (the plan stage); the peels scatter/gather
+across shard executors (execute); and shard reports replay through
+``DiversifiedTopK`` in canonical order exactly as the unsharded planner
+does (merge).
+
+Everything else is inherited unchanged: the staleness rebind-and-retry
+contract, label translation, ``search_many`` pipelining, async
+waitables, and the real :class:`~repro.parallel.executor.WorkerPool` —
+pooled workers rebuild the *same* sharded graph from its payload (see
+``parallel/serialize.py``), so worker-crash semantics are identical to
+an unsharded engine's.
+
+The one accounting difference is :meth:`budget_bytes`: admission control
+charges a sharded session for its **largest single shard**, because the
+point of sharding is that no one engine ever has to hold the whole
+graph.  :meth:`memory_bytes` still reports the honest resident total.
+"""
+
+from repro.engine.cache import ArtifactCache
+from repro.engine.session import DCCEngine
+from repro.graph.backend import resolve_search_graph
+from repro.graph.frozen import ScratchArena
+from repro.parallel.executor import WorkerPool
+from repro.parallel.plan import plan_shard_tasks
+from repro.shard.graph import ShardedGraph
+from repro.shard.partition import check_shards, check_strategy
+from repro.utils.errors import ParameterError
+from repro.utils.timer import Timer
+
+
+class ShardedEngine(DCCEngine):
+    """A d-CC search session over one graph split into N shards.
+
+    Accepts the full :class:`DCCEngine` surface plus:
+
+    Parameters
+    ----------
+    shards:
+        How many blocks to cut the graph into (``1`` is legal and
+        byte-identical to an unsharded engine's results).
+    strategy:
+        ``"vertex-range"`` (default) or ``"layer-subset"`` — see
+        :mod:`repro.shard.partition`.
+
+    ``backend="dict"`` is rejected: shards are slices of the frozen CSR
+    representation, so a sharded session always resolves through the
+    frozen backend (``"auto"`` and ``"frozen"`` both accept).  Results —
+    sets, labels, cover and stats — are bitwise identical to an
+    unsharded :class:`DCCEngine` over the same graph for every shard
+    count and strategy.
+    """
+
+    def __init__(self, graph, shards=2, strategy="vertex-range",
+                 backend="auto", jobs=0, cache_artifacts=True,
+                 cache_max_entries=None, cache_ttl=None, kernel="auto"):
+        if backend == "dict":
+            raise ParameterError(
+                "sharded execution requires the frozen backend; "
+                "backend='dict' cannot be partitioned (use 'auto' or "
+                "'frozen')"
+            )
+        # Set before super().__init__ — the base constructor calls
+        # _bind(), which needs them.
+        self._shards = check_shards(shards)
+        self._strategy = check_strategy(strategy)
+        super().__init__(
+            graph, backend=backend, jobs=jobs,
+            cache_artifacts=cache_artifacts,
+            cache_max_entries=cache_max_entries, cache_ttl=cache_ttl,
+            kernel=kernel,
+        )
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+
+    def _bind(self):
+        """Resolve to frozen, partition, and serve the sharded view.
+
+        Same shape as the base bind; the frozen graph exists only long
+        enough to be sliced (the coordinator keeps O(n) metadata, the
+        CSR rows live in the shards), and the partitioning cost joins
+        the freeze in the overhead charged to the next search.
+        """
+        with Timer() as overhead:
+            frozen, translate = resolve_search_graph(self._source, "frozen")
+            search_graph = ShardedGraph.from_frozen(
+                frozen, self._shards, self._strategy
+            )
+        self._graph = search_graph
+        self._translate = translate
+        self._pending_overhead = overhead.elapsed
+        self._version = self._source.mutation_version
+        # The distributed peel is pure Python; the numpy kernel tier
+        # applies to whole-graph CSR arrays, which no longer exist here.
+        self._active_kernel = None
+        self._pool = WorkerPool(self._graph, self._jobs)
+        self._cache = ArtifactCache(
+            self._graph, max_entries=self._cache_max_entries,
+            ttl=self._cache_ttl,
+        ) if self._cache_enabled else None
+        self._arena = ScratchArena()
+
+    # ------------------------------------------------------------------
+    # querying
+    # ------------------------------------------------------------------
+
+    @property
+    def shards(self):
+        return self._shards
+
+    @property
+    def strategy(self):
+        return self._strategy
+
+    def _start(self, d, s, k, method, options):
+        """Install the query's :class:`ShardPlan`, then plan + submit.
+
+        The plan stays installed until the next query replaces it — a
+        retry after a collect-time staleness re-check re-enters here and
+        installs a fresh plan against the rebound graph.
+        """
+        self._graph.install_plan(
+            plan_shard_tasks(self._graph, spec=(d, s, k, method))
+        )
+        return super()._start(d, s, k, method, options)
+
+    def budget_bytes(self):
+        """The admission charge: the largest single shard's bytes."""
+        return self._graph.budget_bytes()
+
+    def info(self):
+        status = super().info()
+        status["backend"] = "sharded-csr"
+        status["shards"] = self._graph.shard_stats()
+        return status

@@ -1,0 +1,113 @@
+"""Per-shard execution: the primitive server behind one :class:`GraphShard`.
+
+A :class:`ShardExecutor` answers the handful of row-level questions the
+scatter/gather pipeline of :mod:`repro.shard.graph` asks of a shard:
+serve one CSR row, bulk-fill induced degrees for the owned block, and
+walk a peel frontier emitting degree decrements for the coordinator to
+apply (the *scatter* half of a peel round).  Executors never hold peel
+state — the alive/queued flags and degree tables live with the
+coordinator — so an executor is a pure function of its shard, which is
+what would make it relocatable behind the socket transport later.
+
+Every executor keeps three monotone counters for the observability
+surface (``shards`` sections of ``repro info`` and the serving stats):
+
+* ``rows_served`` — single-row lookups answered;
+* ``degree_fills`` — bulk induced-degree passes over the owned block;
+* ``scatter_ops`` — decrement messages emitted across peel rounds.
+"""
+
+
+class ShardExecutor:
+    """Serves one shard's rows and peel primitives in-process."""
+
+    __slots__ = ("shard", "rows_served", "degree_fills", "scatter_ops")
+
+    def __init__(self, shard):
+        self.shard = shard
+        self.rows_served = 0
+        self.degree_fills = 0
+        self.scatter_ops = 0
+
+    @property
+    def index(self):
+        return self.shard.index
+
+    def serves(self, layer):
+        """Whether this executor owns ``layer``'s rows (for its range)."""
+        return self.shard.serves(layer)
+
+    def owns_vertex(self, vertex):
+        """Whether ``vertex`` falls in the owned range ``[lo, hi)``."""
+        return self.shard.lo <= vertex < self.shard.hi
+
+    def row(self, layer, vertex):
+        """The full (halo-complete) neighbour row of one owned vertex.
+
+        Global ids in, global ids out; the caller routed ``vertex`` here
+        because this shard owns ``(layer, vertex)``.
+        """
+        ptr, nbrs = self.shard.row_lists(layer)
+        i = vertex - self.shard.lo
+        self.rows_served += 1
+        return nbrs[ptr[i]:ptr[i + 1]]
+
+    def degree(self, layer, vertex):
+        """O(1) degree of one owned vertex on one owned layer."""
+        ptr, _ = self.shard.row_lists(layer)
+        i = vertex - self.shard.lo
+        return ptr[i + 1] - ptr[i]
+
+    def fill_degrees(self, layer, out, alive, members, full):
+        """Write owned vertices' induced degrees into the global table.
+
+        ``out`` is the coordinator's length-``n`` degree list for
+        ``layer``; only entries this shard owns are written.  With
+        ``full`` (no restriction, everything alive) degrees are plain
+        row lengths; otherwise each owned member's row is counted
+        against the shared ``alive`` flags — exact at the boundary
+        because rows are halo-complete.
+        """
+        ptr, nbrs = self.shard.row_lists(layer)
+        lo, hi = self.shard.lo, self.shard.hi
+        self.degree_fills += 1
+        if full:
+            for v in range(lo, hi):
+                i = v - lo
+                out[v] = ptr[i + 1] - ptr[i]
+            return
+        flag = alive.__getitem__
+        for v in members:
+            if lo <= v < hi:
+                i = v - lo
+                out[v] = sum(map(flag, nbrs[ptr[i]:ptr[i + 1]]))
+
+    def scatter(self, layer, frontier, alive):
+        """Walk the owned slice of one peel frontier; decrement targets.
+
+        For every frontier vertex this shard owns, emits each still-alive
+        neighbour once per connecting edge — exactly the decrements the
+        single-engine kernel applies when that vertex is removed.  The
+        coordinator applies them to its degree table (the *gather*).
+        """
+        ptr, nbrs = self.shard.row_lists(layer)
+        lo, hi = self.shard.lo, self.shard.hi
+        hits = []
+        extend = hits.extend
+        for v in frontier:
+            if lo <= v < hi:
+                i = v - lo
+                extend(u for u in nbrs[ptr[i]:ptr[i + 1]] if alive[u])
+        self.scatter_ops += len(hits)
+        return hits
+
+    def counters(self):
+        """The observability counters as a dict."""
+        return {
+            "rows_served": self.rows_served,
+            "degree_fills": self.degree_fills,
+            "scatter_ops": self.scatter_ops,
+        }
+
+    def __repr__(self):
+        return "ShardExecutor({!r})".format(self.shard)

@@ -1,0 +1,252 @@
+"""Cutting a frozen CSR graph into independently shippable shards.
+
+The unit of distribution is a :class:`GraphShard`: a contiguous block of
+the frozen representation defined by a vertex range ``[lo, hi)`` and a
+layer tuple.  For every owned ``(layer, vertex)`` pair the shard stores
+the *complete* CSR row, rebased so row lookups index a local ``indptr``
+while the ``indices`` keep their **global** vertex ids.  The out-of-range
+endpoints sitting in those rows are the shard's *halo*: the boundary
+vertices it can name but does not own.  Because rows are never truncated
+at the cut, a shard computes the exact induced degree of any owned vertex
+against any global alive-set — degree exactness at shard boundaries is
+what makes the scatter/gather peel of :mod:`repro.shard.graph` bitwise
+equal to the single-engine kernels.
+
+Two partitioning rules, selected by ``strategy``:
+
+* ``"vertex-range"`` (default) — vertices are cut into ``shards``
+  near-equal contiguous id ranges (``bounds[i] = n * i // shards``, the
+  same arithmetic every process derives independently); every shard
+  carries every layer for its range.  This is the rule that shrinks the
+  largest single block, so it is what the host's per-shard admission
+  budget is about.
+* ``"layer-subset"`` — layers are cut into ``shards`` contiguous groups
+  and every shard carries the full vertex range for its layers.  Rows
+  are whole layers, so there is no halo at all; requires
+  ``shards <= num_layers``.
+
+Partitioning is deterministic: the same ``(graph, shards, strategy)``
+always yields byte-identical shards, on the orchestrator and in every
+worker process that rebuilds the sharded graph from its payload.
+"""
+
+from array import array
+
+from repro.graph.kernels import buffer_nbytes
+from repro.utils.errors import ParameterError
+
+STRATEGIES = ("vertex-range", "layer-subset")
+
+# Upper bound on the shard count: far above any useful fan-out on one
+# machine, low enough that a typo'd shards=10**9 fails fast instead of
+# allocating a billion empty blocks.
+MAX_SHARDS = 64
+
+
+def check_shards(shards):
+    """Validate a ``shards=`` argument, returning it unchanged."""
+    if isinstance(shards, bool) or not isinstance(shards, int) \
+            or shards < 1:
+        raise ParameterError(
+            "shards must be a positive integer, got {!r}".format(shards)
+        )
+    if shards > MAX_SHARDS:
+        raise ParameterError(
+            "shards must be at most {}, got {}".format(MAX_SHARDS, shards)
+        )
+    return shards
+
+
+def check_strategy(strategy):
+    """Validate a partitioning ``strategy=``, returning it unchanged."""
+    if strategy not in STRATEGIES:
+        raise ParameterError(
+            "strategy must be one of {}, got {!r}".format(
+                STRATEGIES, strategy
+            )
+        )
+    return strategy
+
+
+class GraphShard:
+    """One contiguous, self-contained block of a frozen CSR graph.
+
+    Attributes
+    ----------
+    index:
+        Position in the canonical shard order (= merge order).
+    lo / hi:
+        The owned vertex-id range ``[lo, hi)``.
+    layers:
+        The owned layer ids, ascending.
+
+    Per owned layer the shard holds ``(indptr, indices)`` where
+    ``indptr`` has ``hi - lo + 1`` entries rebased to start at 0 and
+    ``indices`` holds global neighbour ids (halo endpoints included).
+    """
+
+    __slots__ = ("index", "lo", "hi", "layers", "_rows", "_row_lists",
+                 "_halo")
+
+    def __init__(self, index, lo, hi, layers, rows):
+        self.index = index
+        self.lo = lo
+        self.hi = hi
+        self.layers = tuple(layers)
+        self._rows = rows
+        self._row_lists = {}
+        self._halo = None
+
+    @property
+    def num_owned(self):
+        """Vertices this shard owns (not counting the halo)."""
+        return self.hi - self.lo
+
+    def serves(self, layer):
+        return layer in self._rows
+
+    def row_arrays(self, layer):
+        """The raw ``(indptr, indices)`` pair of one owned layer."""
+        return self._rows[layer]
+
+    def row_lists(self, layer):
+        """Plain-list mirrors of one owned layer's CSR pair (cached).
+
+        List indexing beats buffer indexing in the pure-Python scatter
+        loops, same trade the frozen backend makes with its mirrors.
+        """
+        cached = self._row_lists.get(layer)
+        if cached is None:
+            ptr, nbrs = self._rows[layer]
+            cached = (list(ptr), list(nbrs))
+            self._row_lists[layer] = cached
+        return cached
+
+    def halo_vertices(self):
+        """Distinct neighbour ids outside ``[lo, hi)`` (cached count).
+
+        The boundary cut surface: how many foreign vertices this
+        shard's rows reference.  A whole-layer shard has no halo.
+        """
+        if self._halo is None:
+            lo, hi = self.lo, self.hi
+            halo = set()
+            for layer in self.layers:
+                for u in self._rows[layer][1]:
+                    if not lo <= u < hi:
+                        halo.add(u)
+            self._halo = len(halo)
+        return self._halo
+
+    def memory_bytes(self):
+        """Resident bytes: CSR buffers plus any built list mirrors."""
+        import sys
+
+        total = 0
+        for ptr, nbrs in self._rows.values():
+            total += buffer_nbytes(ptr) + buffer_nbytes(nbrs)
+        for ptr, nbrs in self._row_lists.values():
+            total += sys.getsizeof(ptr) + sys.getsizeof(nbrs)
+        return total
+
+    def payload(self):
+        """A picklable tuple; :meth:`from_payload` inverts it."""
+        return (
+            self.index, self.lo, self.hi, self.layers,
+            [(layer, ptr, nbrs)
+             for layer, (ptr, nbrs) in sorted(self._rows.items())],
+        )
+
+    @classmethod
+    def from_payload(cls, payload):
+        index, lo, hi, layers, rows = payload
+        return cls(index, lo, hi, layers,
+                   {layer: (ptr, nbrs) for layer, ptr, nbrs in rows})
+
+    def __repr__(self):
+        return "GraphShard(#{}, vertices [{}, {}), layers {})".format(
+            self.index, self.lo, self.hi, list(self.layers)
+        )
+
+
+def _cut_points(total, parts):
+    """``parts + 1`` monotone bounds splitting ``range(total)`` evenly."""
+    return [total * i // parts for i in range(parts + 1)]
+
+
+class Partitioner:
+    """Deterministically cuts one frozen graph into :class:`GraphShard`\\ s.
+
+    Parameters
+    ----------
+    shards:
+        The number of blocks to produce (``>= 1``).
+    strategy:
+        ``"vertex-range"`` or ``"layer-subset"`` — see the module
+        docstring for the two rules.
+    """
+
+    def __init__(self, shards, strategy="vertex-range"):
+        self.shards = check_shards(shards)
+        self.strategy = check_strategy(strategy)
+
+    def partition(self, graph):
+        """Cut ``graph`` (must be frozen) into the configured shards."""
+        if not getattr(graph, "is_frozen", False):
+            raise ParameterError(
+                "only a frozen (CSR) graph can be partitioned; freeze "
+                "the source first"
+            )
+        if self.strategy == "layer-subset":
+            return self._by_layer(graph)
+        return self._by_vertex_range(graph)
+
+    def _by_vertex_range(self, graph):
+        n = graph.num_vertices
+        layers = tuple(graph.layers())
+        bounds = _cut_points(n, self.shards)
+        return [
+            GraphShard(
+                i, bounds[i], bounds[i + 1], layers,
+                {
+                    layer: _slice_rows(graph, layer, bounds[i],
+                                       bounds[i + 1])
+                    for layer in layers
+                },
+            )
+            for i in range(self.shards)
+        ]
+
+    def _by_layer(self, graph):
+        if self.shards > graph.num_layers:
+            raise ParameterError(
+                "layer-subset partitioning needs shards <= num_layers "
+                "({}), got {}".format(graph.num_layers, self.shards)
+            )
+        n = graph.num_vertices
+        bounds = _cut_points(graph.num_layers, self.shards)
+        out = []
+        for i in range(self.shards):
+            layers = tuple(range(bounds[i], bounds[i + 1]))
+            out.append(GraphShard(
+                i, 0, n, layers,
+                {layer: _slice_rows(graph, layer, 0, n)
+                 for layer in layers},
+            ))
+        return out
+
+
+def _slice_rows(graph, layer, lo, hi):
+    """One layer's CSR rows for ``[lo, hi)``, rebased to a local indptr.
+
+    ``indices`` entries stay global — the halo is whatever falls outside
+    the range.  Storage is ``array('i')`` regardless of whether the
+    source buffers were array- or numpy-backed, so shard payloads pickle
+    the same way either way.
+    """
+    ptr = graph._indptr[layer]
+    nbrs = graph._indices[layer]
+    base = int(ptr[lo])
+    local_ptr = array("i", (int(ptr[v]) - base for v in range(lo, hi + 1)))
+    local_nbrs = array("i", (int(u) for u in nbrs[base:int(ptr[hi])]))
+    return local_ptr, local_nbrs

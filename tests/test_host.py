@@ -315,8 +315,35 @@ class TestHostSpec:
         assert len(queries) == 2 and queries[0]["graph"] == "a"
         assert settings == {"max_engines": 1}
 
+    def test_settings_include_shards(self):
+        _, _, settings = parse_host_spec({
+            "graphs": {"a": "figure1"},
+            "shards": 2,
+            "queries": [{"graph": "a", "d": 3, "s": 2, "k": 2}],
+        })
+        assert settings == {"shards": 2}
+
+    def test_unknown_top_level_key_is_named_in_the_error(self):
+        # A typo'd settings knob must fail loudly, naming both the bad
+        # key and the accepted vocabulary — never silently configure
+        # nothing.
+        from repro.host.spec import SETTINGS_KEYS
+
+        with pytest.raises(ParameterError) as rejected:
+            parse_host_spec({
+                "graphs": {"a": "figure1"},
+                "kernal": "numpy",
+                "queries": [{"graph": "a", "d": 1, "s": 1, "k": 1}],
+            })
+        message = str(rejected.value)
+        assert "kernal" in message
+        for key in SETTINGS_KEYS + ("graphs", "queries"):
+            assert key in message
+
     @pytest.mark.parametrize("payload", [
         [],                                          # not an object
+        {"graphs": {"a": "figure1"}, "sharde": 2,
+         "queries": [{"graph": "a", "d": 1, "s": 1, "k": 1}]},  # bad key
         {"queries": [{"graph": "a", "d": 1, "s": 1, "k": 1}]},  # no graphs
         {"graphs": {}, "queries": [{}]},             # empty graphs
         {"graphs": {"a": "figure1"}, "queries": []},  # empty queries

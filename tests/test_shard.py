@@ -1,0 +1,462 @@
+"""Suite for :mod:`repro.shard` — sharded graph execution behind the
+plan → execute → merge pipeline.
+
+The contract under test, in order of importance:
+
+1. **bitwise equivalence** — a :class:`ShardedEngine` returns, for every
+   shard count, partitioning strategy, method, backend of the source
+   graph, and cache temperature, exactly what an unsharded
+   :class:`DCCEngine` returns over the same graph: sets, labels, cover
+   and the full aggregated counter dict;
+2. **partitioning** — the cut is deterministic, rows are complete (the
+   halo is whatever the rows reference outside the owned range, never a
+   truncation), the layer-subset rule has no halo at all, and both
+   rules validate their inputs;
+3. **pipeline surface** — the plan stage emits one :class:`ShardTask`
+   per shard, the execute stage routes through the installed plan, the
+   sharded graph answers the full read-only graph protocol identically
+   to the frozen original, and payloads round-trip so pooled workers
+   rebuild the same partition;
+4. **integration** — ``search_dccs(shards=N)``, ``DCCHost.attach(...,
+   shards=N)`` admission (budgeted by the largest shard, so a graph
+   bigger than the budget still serves), and the async layer's
+   cross-time result cache treating sharded and unsharded servings of
+   one graph as the same entry.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import search_dccs
+from repro.engine import DCCEngine
+from repro.graph import MultiLayerGraph, paper_figure1_graph
+from repro.host import DCCHost
+from repro.parallel.plan import plan_shard_tasks
+from repro.shard import (
+    MAX_SHARDS,
+    GraphShard,
+    Partitioner,
+    ShardedEngine,
+    ShardedGraph,
+    check_shards,
+    check_strategy,
+)
+from repro.shard.partition import _cut_points
+from repro.utils.errors import LayerIndexError, ParameterError
+from tests.strategies import (
+    labelled_multilayer_graphs,
+    multilayer_graphs,
+    search_parameters,
+)
+
+METHODS = ("greedy", "bottom-up", "top-down")
+
+
+def assert_identical(first, second, context=""):
+    assert first.sets == second.sets, context
+    assert first.labels == second.labels, context
+    assert first.cover_size == second.cover_size, context
+    assert first.stats.as_dict() == second.stats.as_dict(), context
+
+
+def ring_graph(n=12, layers=2):
+    graph = MultiLayerGraph(layers, vertices=range(n))
+    for layer in range(layers):
+        for i in range(n):
+            graph.add_edge(layer, i, (i + 1) % n)
+    return graph
+
+
+# ----------------------------------------------------------------------
+# 1. partitioning
+# ----------------------------------------------------------------------
+
+
+class TestPartitioner:
+    def test_cut_points_are_even_and_exhaustive(self):
+        for total in (0, 1, 7, 100, 101):
+            for parts in (1, 2, 3, 64):
+                bounds = _cut_points(total, parts)
+                assert len(bounds) == parts + 1
+                assert bounds[0] == 0 and bounds[-1] == total
+                sizes = [bounds[i + 1] - bounds[i] for i in range(parts)]
+                assert all(size >= 0 for size in sizes)
+                assert max(sizes) - min(sizes) <= 1
+
+    def test_vertex_range_rows_are_complete(self):
+        # Every owned row must equal the frozen row, global ids and all;
+        # the halo is what those rows reference outside the range.
+        frozen = paper_figure1_graph().freeze()
+        shards = Partitioner(3).partition(frozen)
+        assert [shard.lo for shard in shards] == \
+            _cut_points(frozen.num_vertices, 3)[:-1]
+        for shard in shards:
+            assert shard.layers == tuple(frozen.layers())
+            outside = set()
+            for layer in shard.layers:
+                ptr, nbrs = shard.row_arrays(layer)
+                assert len(ptr) == shard.num_owned + 1
+                for v in range(shard.lo, shard.hi):
+                    i = v - shard.lo
+                    row = list(nbrs[ptr[i]:ptr[i + 1]])
+                    assert sorted(row) == sorted(frozen.neighbors(layer, v))
+                    outside.update(
+                        u for u in row if not shard.lo <= u < shard.hi
+                    )
+            assert shard.halo_vertices() == len(outside)
+            assert shard.memory_bytes() > 0
+
+    def test_layer_subset_covers_layers_without_halo(self):
+        frozen = paper_figure1_graph().freeze()
+        shards = Partitioner(
+            frozen.num_layers, strategy="layer-subset"
+        ).partition(frozen)
+        covered = []
+        for shard in shards:
+            assert (shard.lo, shard.hi) == (0, frozen.num_vertices)
+            assert shard.halo_vertices() == 0
+            covered.extend(shard.layers)
+        assert covered == list(frozen.layers())
+
+    def test_layer_subset_rejects_too_many_shards(self):
+        frozen = paper_figure1_graph().freeze()
+        partitioner = Partitioner(
+            frozen.num_layers + 1, strategy="layer-subset"
+        )
+        with pytest.raises(ParameterError):
+            partitioner.partition(frozen)
+
+    def test_partition_requires_a_frozen_graph(self):
+        with pytest.raises(ParameterError):
+            Partitioner(2).partition(paper_figure1_graph())
+
+    def test_check_shards_validation(self):
+        for bad in (0, -1, True, False, "2", 2.0, MAX_SHARDS + 1):
+            with pytest.raises(ParameterError):
+                check_shards(bad)
+        assert check_shards(1) == 1
+        assert check_shards(MAX_SHARDS) == MAX_SHARDS
+
+    def test_check_strategy_validation(self):
+        with pytest.raises(ParameterError):
+            check_strategy("vertex_range")
+        assert check_strategy("layer-subset") == "layer-subset"
+
+    def test_shard_payload_round_trip(self):
+        frozen = paper_figure1_graph().freeze()
+        for shard in Partitioner(2).partition(frozen):
+            rebuilt = GraphShard.from_payload(shard.payload())
+            assert (rebuilt.index, rebuilt.lo, rebuilt.hi) == \
+                (shard.index, shard.lo, shard.hi)
+            assert rebuilt.layers == shard.layers
+            for layer in shard.layers:
+                assert rebuilt.row_arrays(layer) == shard.row_arrays(layer)
+
+
+# ----------------------------------------------------------------------
+# 2. the sharded graph view
+# ----------------------------------------------------------------------
+
+
+class TestShardedGraphProtocol:
+    @pytest.mark.parametrize("strategy", ["vertex-range", "layer-subset"])
+    def test_matches_the_frozen_view(self, strategy):
+        frozen = paper_figure1_graph().freeze()
+        shards = frozen.num_layers if strategy == "layer-subset" else 3
+        sharded = ShardedGraph.from_frozen(frozen, shards, strategy)
+        assert sharded.num_vertices == frozen.num_vertices
+        assert sharded.num_layers == frozen.num_layers
+        assert sharded.vertex_set() == frozen.vertex_set()
+        assert len(sharded) == len(frozen)
+        subset = list(frozen.vertices())[::2]
+        for layer in frozen.layers():
+            assert sharded.num_edges(layer) == frozen.num_edges(layer)
+            assert sorted(sharded.edges(layer)) == \
+                sorted(frozen.edges(layer))
+            assert sharded.induced_degrees(layer, None) == \
+                frozen.induced_degrees(layer, None)
+            assert sharded.induced_degrees(layer, subset) == \
+                frozen.induced_degrees(layer, subset)
+            for v in frozen.vertices():
+                assert sharded.degree(layer, v) == frozen.degree(layer, v)
+                assert sharded.neighbors(layer, v) == \
+                    frozen.neighbors(layer, v)
+        for v in frozen.vertices():
+            assert sharded.layers_of(v) == frozen.layers_of(v)
+        assert sharded.total_edges() == frozen.total_edges()
+        assert sharded.union_edge_count() == frozen.union_edge_count()
+
+    def test_core_computations_match_frozen(self):
+        from repro.graph.frozen import (
+            frozen_coherent_core,
+            frozen_layer_core,
+        )
+
+        frozen = paper_figure1_graph().freeze()
+        sharded = ShardedGraph.from_frozen(frozen, 4)
+        layers = tuple(frozen.layers())[:2]
+        for d in range(0, 5):
+            for layer in frozen.layers():
+                assert sharded.layer_core(layer, d) == \
+                    frozen_layer_core(frozen, layer, d)
+            assert sharded.coherent_core(layers, d) == \
+                frozen_coherent_core(frozen, layers, d)
+        with pytest.raises(ParameterError):
+            sharded.layer_core(0, -1)
+        with pytest.raises(LayerIndexError):
+            sharded.layer_core(frozen.num_layers, 1)
+
+    def test_budget_is_the_largest_shard(self):
+        frozen = ring_graph(40, 2).freeze()
+        sharded = ShardedGraph.from_frozen(frozen, 4)
+        per_shard = [shard.memory_bytes() for shard in sharded.shards]
+        assert sharded.budget_bytes() == max(per_shard)
+        assert sharded.budget_bytes() < sharded.memory_bytes()
+
+    def test_graph_payload_round_trip(self):
+        sharded = ShardedGraph.from_frozen(
+            paper_figure1_graph().freeze(), 3
+        )
+        rebuilt = ShardedGraph.from_payload(sharded.payload())
+        assert rebuilt.num_shards == sharded.num_shards
+        assert rebuilt.strategy == sharded.strategy
+        assert rebuilt.vertex_set() == sharded.vertex_set()
+        for layer in sharded.layers():
+            assert rebuilt.layer_core(layer, 2) == \
+                sharded.layer_core(layer, 2)
+
+    def test_plan_stage_emits_one_task_per_shard(self):
+        sharded = ShardedGraph.from_frozen(
+            paper_figure1_graph().freeze(), 3
+        )
+        plan = plan_shard_tasks(sharded, spec=(2, 2, 2, "greedy"))
+        assert plan.spec == (2, 2, 2, "greedy")
+        assert len(plan.tasks) == 3
+        assert [task.shard for task in plan.tasks] == [0, 1, 2]
+        for layer in sharded.layers():
+            assert plan.shards_for(layer) == (0, 1, 2)
+        installed = sharded.plans_installed
+        sharded.install_plan(plan)
+        assert sharded.active_plan is plan
+        assert sharded.plans_installed == installed + 1
+
+
+# ----------------------------------------------------------------------
+# 3. bitwise equivalence (the acceptance property)
+# ----------------------------------------------------------------------
+
+
+class TestShardedEquivalence:
+    @given(st.data())
+    @settings(max_examples=12, deadline=None)
+    def test_sharded_matches_unsharded_bitwise(self, data):
+        # The tentpole property: shard count, strategy, method and cache
+        # temperature never change a single byte of the result.
+        graph = data.draw(multilayer_graphs(max_vertices=9, max_layers=3))
+        d, s, k = data.draw(search_parameters(graph))
+        method = data.draw(st.sampled_from(METHODS))
+        shards = data.draw(st.sampled_from((1, 2, 4)))
+        strategy = data.draw(st.sampled_from(
+            ("vertex-range", "layer-subset")
+        ))
+        if strategy == "layer-subset":
+            shards = min(shards, graph.num_layers)
+        with DCCEngine(graph, jobs=1) as engine:
+            want_cold = engine.search(d, s, k, method=method, seed=7)
+            want_warm = engine.search(d, s, k, method=method, seed=7)
+        with ShardedEngine(graph, shards=shards, strategy=strategy,
+                           jobs=1) as engine:
+            cold = engine.search(d, s, k, method=method, seed=7)
+            warm = engine.search(d, s, k, method=method, seed=7)
+        assert_identical(cold, want_cold, (shards, strategy, method))
+        assert_identical(warm, want_warm, (shards, strategy, method))
+
+    @given(st.data())
+    @settings(max_examples=6, deadline=None)
+    def test_labelled_dict_source_translates_identically(self, data):
+        # The other backend: a dict-backed graph over string labels is
+        # frozen inside the engine and reported sets are translated
+        # back — sharding must not disturb the label mapping.
+        graph = data.draw(
+            labelled_multilayer_graphs(max_vertices=8, max_layers=3)
+        )
+        d, s, k = data.draw(search_parameters(graph))
+        method = data.draw(st.sampled_from(METHODS))
+        with DCCEngine(graph, backend="frozen", jobs=1) as engine:
+            want = engine.search(d, s, k, method=method, seed=7)
+        with ShardedEngine(graph, shards=3, jobs=1) as engine:
+            got = engine.search(d, s, k, method=method, seed=7)
+        assert_identical(got, want, method)
+        assert all(
+            isinstance(label, str)
+            for members in got.sets for label in members
+        )
+
+    def test_frozen_source_is_served_without_a_copy(self):
+        frozen = paper_figure1_graph().freeze()
+        want = search_dccs(frozen, 3, 2, 2, jobs=1)
+        for shards in (1, 2, 4):
+            with ShardedEngine(frozen, shards=shards, jobs=1) as engine:
+                assert_identical(engine.search(3, 2, 2), want, shards)
+
+
+# ----------------------------------------------------------------------
+# 4. the engine surface and integration layers
+# ----------------------------------------------------------------------
+
+
+class TestShardedEngineSurface:
+    def test_rejects_the_dict_backend(self):
+        with pytest.raises(ParameterError):
+            ShardedEngine(paper_figure1_graph(), backend="dict")
+
+    def test_validates_shards_and_strategy(self):
+        graph = paper_figure1_graph()
+        with pytest.raises(ParameterError):
+            ShardedEngine(graph, shards=0)
+        with pytest.raises(ParameterError):
+            ShardedEngine(graph, shards=MAX_SHARDS + 1)
+        with pytest.raises(ParameterError):
+            ShardedEngine(graph, strategy="hash")
+
+    def test_info_reports_the_shard_picture(self):
+        with ShardedEngine(paper_figure1_graph(), shards=2,
+                           jobs=1) as engine:
+            engine.search(3, 2, 2)
+            status = engine.info()
+        assert status["backend"] == "sharded-csr"
+        picture = status["shards"]
+        assert picture["shards"] == 2
+        assert picture["strategy"] == "vertex-range"
+        assert picture["merges"] > 0
+        assert len(picture["per_shard"]) == 2
+        for entry in picture["per_shard"]:
+            assert entry["memory_bytes"] > 0
+        assert picture["budget_bytes"] == max(
+            entry["memory_bytes"] for entry in picture["per_shard"]
+        )
+
+    def test_pooled_workers_rebuild_the_sharded_graph(self):
+        # jobs=2 ships the ("sharded", ...) payload to real worker
+        # processes; results must match the inline run exactly.
+        graph = paper_figure1_graph()
+        with ShardedEngine(graph, shards=2, jobs=1) as engine:
+            want = engine.search(3, 2, 2, method="greedy")
+        with ShardedEngine(graph, shards=2, jobs=2) as engine:
+            if not engine.warm():
+                pytest.skip("environment cannot spawn worker processes")
+            got = engine.search(3, 2, 2, method="greedy")
+            assert engine.info()["pool_spawned"] is True
+        assert_identical(got, want)
+
+    def test_search_many_pipelines_identically(self):
+        graph = paper_figure1_graph()
+        specs = [(3, 2, 2, "greedy"), (2, 2, 2, "bottom-up"),
+                 (3, 2, 2, "top-down")]
+        with DCCEngine(graph, jobs=1) as engine:
+            want = [engine.search(d, s, k, method=m)
+                    for d, s, k, m in specs]
+        with ShardedEngine(graph, shards=3, jobs=1) as engine:
+            got = engine.search_many(
+                [{"d": d, "s": s, "k": k, "method": m}
+                 for d, s, k, m in specs]
+            )
+        for one, two, spec in zip(got, want, specs):
+            assert_identical(one, two, spec)
+
+    def test_one_shot_search_dccs_accepts_shards(self):
+        graph = paper_figure1_graph()
+        want = search_dccs(graph, 3, 2, 2, jobs=1)
+        assert_identical(search_dccs(graph, 3, 2, 2, shards=2), want)
+        assert_identical(search_dccs(graph, 3, 2, 2, shards=1, jobs=1),
+                         want)
+        with pytest.raises(ParameterError):
+            search_dccs(graph, 3, 2, 2, shards=-2)
+        with pytest.raises(ParameterError):
+            search_dccs(graph, 3, 2, 2, shards=2, backend="dict")
+
+
+class TestHostSharding:
+    def test_attach_with_shards_serves_identically(self):
+        graph = paper_figure1_graph()
+        with DCCHost(jobs=1) as host:
+            host.attach("plain", graph)
+            host.attach("cut", graph, shards=2)
+            assert isinstance(host.engine("cut"), ShardedEngine)
+            plain = host.search("plain", 3, 2, 2)
+            cut = host.search("cut", 3, 2, 2)
+            status = host.info()
+        assert_identical(plain, cut)
+        assert "shards" in status["engines"]["cut"]
+        assert "shards" not in status["engines"]["plain"]
+
+    def test_host_default_shards_applies_to_attaches(self):
+        with DCCHost(jobs=1, shards=2) as host:
+            host.attach("a", paper_figure1_graph())
+            host.attach("b", paper_figure1_graph(), shards=1)
+            assert isinstance(host.engine("a"), ShardedEngine)
+            assert not isinstance(host.engine("b"), ShardedEngine)
+
+    def test_shards_conflict_with_dict_backend_fails_eagerly(self):
+        with pytest.raises(ParameterError):
+            DCCHost(backend="dict", shards=2)
+        with DCCHost(backend="dict", jobs=1) as host:
+            with pytest.raises(ParameterError):
+                host.attach("a", paper_figure1_graph(), shards=2)
+            assert not host.is_attached("a")
+        with pytest.raises(ParameterError):
+            DCCHost(shards=0)
+
+    def test_over_budget_graph_serves_under_per_shard_admission(self):
+        # The acceptance scenario in miniature: the whole graph busts
+        # the host budget, its largest shard does not — attached with
+        # shards=N it admits without evicting anything and still
+        # returns the unsharded bytes.
+        graph = ring_graph(60, 2)
+        frozen_bytes = graph.freeze().memory_bytes()
+        with DCCHost(jobs=1) as host:
+            host.attach("big", graph, shards=4)
+            served = host.search("big", 2, 1, 2)
+            engine = host.engine("big")
+            assert engine.memory_bytes() > engine.budget_bytes()
+            # Budget just above the (now warm) largest shard, well below
+            # the whole graph: re-serving stays admitted, nothing evicts.
+            host.memory_budget_bytes = engine.budget_bytes() + 1
+            assert host.memory_budget_bytes < frozen_bytes
+            again = host.search("big", 2, 1, 2)
+            assert host.resident() == ("big",)
+            assert host.evictions == 0
+            assert host.budget_bytes() <= host.memory_budget_bytes
+        assert_identical(served, again)
+        assert_identical(served, search_dccs(graph, 2, 1, 2, jobs=1))
+
+    def test_async_cache_entry_is_shard_free(self):
+        # The cross-time result cache keys on (graph, version, spec) —
+        # never on the shard count — so the entry a sharded host stores
+        # is byte-for-byte the entry an unsharded host would store and
+        # fetch for the same search.
+        import asyncio
+
+        from repro.aio import AsyncDCCHost
+        from repro.aio.result_cache import ResultCache
+
+        graph = paper_figure1_graph()
+        cache = ResultCache()
+
+        async def serve():
+            async with AsyncDCCHost(jobs=1, result_cache=cache,
+                                    shards=2) as host:
+                host.attach("fig", graph)
+                first = await host.search("fig", 3, 2, 2)
+                second = await host.search("fig", 3, 2, 2)
+                return first, second, host.requests_cached
+
+        first, second, cached = asyncio.run(serve())
+        assert cached == 1 and cache.hits == 1
+        key = next(iter(cache._entries))
+        assert key == ResultCache.key_for(
+            "fig", graph.mutation_version, 3, 2, 2, "auto", {}
+        )
+        assert_identical(first, second)
+        assert_identical(first, search_dccs(graph, 3, 2, 2, jobs=1))
