@@ -28,6 +28,7 @@ from repro.aio.server import (
     DEFAULT_MAX_REQUEST_BYTES,
     DCCServer,
     format_response,
+    parse_update_edges,
     serving_stats,
 )
 
@@ -43,5 +44,6 @@ __all__ = [
     "MAX_BATCH",
     "ResultCache",
     "format_response",
+    "parse_update_edges",
     "serving_stats",
 ]

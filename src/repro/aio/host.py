@@ -36,6 +36,15 @@ Design
   charge it), and the ``mutation_version`` key plus a per-graph
   watermark purge make mutation invalidation automatic — a stale
   answer is unreachable the moment the graph ticks.
+* **Streaming updates.**  :meth:`update` applies a batched edge delta
+  to an attached graph through the same per-graph FIFO the searches
+  ride, so clients observe a single total order: searches accepted
+  before the update answer against the old graph, searches after it
+  against the new one.  The mutation is one atomic
+  ``apply_delta`` batch (one ``mutation_version`` tick), the result
+  cache's watermark advances in the same step, and the graph's engine
+  rebinds lazily on its next query — patching its CSR and keeping
+  untouched per-layer artifacts when the recorded delta allows.
 * **Per-request metrics.**  Queue depths, coalesce/cache hit counters
   and service-latency percentiles (accept to resolve, recorded through
   an injectable clock into a bounded window) are exposed via
@@ -88,6 +97,7 @@ from repro.aio.result_cache import (
 )
 from repro.host import DCCHost
 from repro.utils.errors import (
+    FrozenGraphError,
     GraphError,
     HostClosedError,
     ParameterError,
@@ -117,6 +127,23 @@ class _Request:
         self.key = key
         self.future = future
         self.waiters = []
+
+
+class _GraphUpdate:
+    """One enqueued mutation batch riding a graph's request queue.
+
+    Updates share the queue with searches so one graph's traffic is a
+    single FIFO: every search accepted before the update sees the old
+    graph, every one accepted after it sees the new one — the ordering
+    clients observe is exactly the order the queue accepted.
+    """
+
+    __slots__ = ("add", "remove", "future")
+
+    def __init__(self, add, remove, future):
+        self.add = add
+        self.remove = remove
+        self.future = future
 
 
 def _coalesce_key(name, d, s, k, method, options):
@@ -224,12 +251,21 @@ class AsyncDCCHost:
         self._inflight = {}
         self._busy = set()
         self._turnstile = None  # asyncio.Condition, created per loop
+        # Per-graph count of updates accepted but not yet applied.
+        # While non-zero, that graph's searches bypass the result cache
+        # and the coalescer: both key on mutation_version / in-flight
+        # specs of the *old* graph, and a search accepted behind a
+        # queued update must answer against the new one.
+        self._pending_updates = {}
         self.requests_accepted = 0
         self.requests_served = 0
         self.requests_coalesced = 0
         self.requests_cached = 0
         self.requests_rejected = 0
         self.batches_dispatched = 0
+        self.updates_applied = 0
+        self.update_edges_applied = 0
+        self.update_latency = LatencyRecorder()
 
     # ------------------------------------------------------------------
     # registry surface (synchronous, delegated)
@@ -287,8 +323,9 @@ class AsyncDCCHost:
         # The result cache sits *above* the coalescer: a finished
         # duplicate — even one served minutes ago — never touches a
         # queue, a dispatcher or an engine.
+        pending_update = bool(self._pending_updates.get(name))
         cache_key = None
-        if self._results is not None:
+        if self._results is not None and not pending_update:
             cache_key = ResultCache.key_for(
                 name, self._host.graph(name).mutation_version,
                 d, s, k, method, options,
@@ -301,7 +338,7 @@ class AsyncDCCHost:
                     self.latency.record(self._clock() - started)
                     return cached
         key = _coalesce_key(name, d, s, k, method, options) \
-            if self._coalesce else None
+            if self._coalesce and not pending_update else None
         if key is not None:
             primary = self._inflight.get(key)
             if primary is not None:
@@ -346,6 +383,43 @@ class AsyncDCCHost:
             return
         self._results.put(cache_key, result)
 
+    async def update(self, name, add=(), remove=()):
+        """Apply one batched mutation to the named graph; awaits a receipt.
+
+        ``add`` and ``remove`` are iterables of ``(layer, u, v)`` edges,
+        applied through the graph's :meth:`apply_delta` — one atomic
+        batch, one ``mutation_version`` tick, validated up front so a
+        bad edge rejects the whole batch without touching the graph.
+
+        The update rides the same per-graph FIFO as searches: requests
+        accepted before it are answered against the pre-update graph,
+        requests accepted after it against the post-update graph, under
+        any client interleaving.  The receipt reports the *net* delta
+        (an add cancelling a queued remove applies as nothing) and the
+        new ``mutation_version``; the cross-time result cache's
+        watermark for the graph advances in the same step, so stale
+        answers are unreachable the moment the update resolves.
+        """
+        self._ensure_serving(name)
+        graph = self._host.graph(name)
+        if getattr(graph, "apply_delta", None) is None:
+            raise FrozenGraphError("apply_delta")
+        loop = asyncio.get_running_loop()
+        started = self._clock()
+        update = _GraphUpdate(tuple(add), tuple(remove),
+                              loop.create_future())
+        queue = self._queue_for(name)
+        try:
+            queue.put_nowait(update)
+        except asyncio.QueueFull:
+            self.requests_rejected += 1
+            raise QueueFullError(name, self.max_pending) from None
+        self._pending_updates[name] = self._pending_updates.get(name, 0) + 1
+        self.requests_accepted += 1
+        receipt = await update.future
+        self.update_latency.record(self._clock() - started)
+        return receipt
+
     async def search_many(self, specs):
         """Serve a batch of ``{"graph": ..., "d": ..., ...}`` specs.
 
@@ -354,6 +428,13 @@ class AsyncDCCHost:
         groups pipeline) and results come back in input order, each
         bitwise identical to the corresponding :meth:`search` call.
         Specs are validated for shape before any of them is enqueued.
+
+        A spec may also be an ``{"op": "update", "graph": ..., "add":
+        ..., "remove": ...}`` mutation (the batch-spec file shape); it
+        is submitted through :meth:`update` at its position, and since
+        submission order is enqueue order, every search listed after it
+        answers against the mutated graph.  Its slot in the returned
+        list holds the update receipt dict.
         """
         parsed = []
         for number, entry in enumerate(specs, 1):
@@ -365,6 +446,13 @@ class AsyncDCCHost:
                     "naming an attached graph".format(number, entry)
                 )
             self._ensure_serving(name)
+            if entry.get("op") == "update":
+                parsed.append(("update", name,
+                               tuple(tuple(edge)
+                                     for edge in entry.get("add") or ()),
+                               tuple(tuple(edge)
+                                     for edge in entry.get("remove") or ())))
+                continue
             try:
                 d = entry.pop("d")
                 s = entry.pop("s")
@@ -376,10 +464,17 @@ class AsyncDCCHost:
                     )
                 ) from None
             method = entry.pop("method", "auto")
-            parsed.append((name, d, s, k, method, entry))
+            parsed.append(("search", name, d, s, k, method, entry))
+        # gather() starts the coroutines in order and both search() and
+        # update() enqueue before their first await, so the per-graph
+        # FIFO sees the specs in input order — an update is a barrier at
+        # exactly its list position.
         return await asyncio.gather(*(
-            self.search(name, d, s, k, method=method, **entry)
-            for name, d, s, k, method, entry in parsed
+            self.update(item[1], add=item[2], remove=item[3])
+            if item[0] == "update"
+            else self.search(item[1], item[2], item[3], item[4],
+                             method=item[5], **item[6])
+            for item in parsed
         ))
 
     def run_batch(self, specs):
@@ -429,6 +524,7 @@ class AsyncDCCHost:
         self._dispatchers = {}
         self._inflight = {}
         self._busy = set()
+        self._pending_updates = {}
         self._turnstile = asyncio.Condition()
 
     def _queue_for(self, name):
@@ -442,12 +538,25 @@ class AsyncDCCHost:
         return queue
 
     async def _dispatch(self, name):
-        """One graph's dispatcher: drain, lease, serve, repeat."""
+        """One graph's dispatcher: drain, lease, serve, repeat.
+
+        Updates ride the same queue as searches, so an update is a
+        batch *barrier*: draining stops at it, the drained searches are
+        served against the pre-update graph, and the update applies on
+        the next turn before anything accepted after it is served.
+        """
         queue = self._queues[name]
+        carry = None
         while True:
-            request = await queue.get()
+            if carry is not None:
+                request, carry = carry, None
+            else:
+                request = await queue.get()
             if request is _STOP:
                 return
+            if isinstance(request, _GraphUpdate):
+                await self._apply_update(name, request)
+                continue
             batch = [request]
             while len(batch) < MAX_BATCH and not queue.empty():
                 head = queue.get_nowait()
@@ -457,6 +566,11 @@ class AsyncDCCHost:
                     # re-enqueue cannot fail.
                     queue.put_nowait(head)
                     break
+                if isinstance(head, _GraphUpdate):
+                    # FIFO barrier: finish the drained searches first,
+                    # apply the update on the next turn.
+                    carry = head
+                    break
                 batch.append(head)
             try:
                 async with self._engine_turn(name):
@@ -464,6 +578,60 @@ class AsyncDCCHost:
             except Exception as error:  # pragma: no cover - safety net
                 for pending in batch:
                     self._resolve_error(pending, error)
+
+    async def _apply_update(self, name, update):
+        """Run one mutation batch on a pool thread; resolve its future.
+
+        No :meth:`_engine_turn` and no lease: this dispatcher is the
+        only path that serves this graph, and it is parked right here —
+        no search against the graph can be in flight.  The engine
+        notices the version tick lazily on its next query and rebinds
+        (patching when the delta allows — see ``engine/session.py``).
+        """
+        loop = asyncio.get_running_loop()
+        try:
+            receipt = await loop.run_in_executor(
+                None,
+                partial(self._locked_update, name, update.add,
+                        update.remove),
+            )
+        except Exception as error:
+            if not update.future.done():
+                update.future.set_exception(error)
+        else:
+            if not update.future.done():
+                update.future.set_result(receipt)
+        finally:
+            left = self._pending_updates.get(name, 0) - 1
+            if left > 0:
+                self._pending_updates[name] = left
+            else:
+                self._pending_updates.pop(name, None)
+        self.requests_served += 1
+
+    def _locked_update(self, name, add, remove):
+        """Mutate under the host lock; runs on a pool thread.
+
+        The lock guards the registry against attach/detach/info racing
+        the mutation; the result-cache watermark advances in the same
+        critical section so no stale answer is served after the new
+        version exists.
+        """
+        with self._host_lock:
+            graph = self._host.graph(name)
+            delta = graph.apply_delta(add=add, remove=remove)
+            version = graph.mutation_version
+            if self._results is not None:
+                self._results.note_mutation(name, version)
+        self.updates_applied += 1
+        edges = 0 if delta is None else delta.edge_count
+        self.update_edges_applied += edges
+        return {
+            "applied": edges,
+            "added": 0 if delta is None else len(delta.edges_added),
+            "removed": 0 if delta is None else len(delta.edges_removed),
+            "mutation_version": version,
+        }
 
     @asynccontextmanager
     async def _engine_turn(self, name):
@@ -652,6 +820,9 @@ class AsyncDCCHost:
             "requests_cached": self.requests_cached,
             "requests_rejected": self.requests_rejected,
             "batches_dispatched": self.batches_dispatched,
+            "updates_applied": self.updates_applied,
+            "update_edges_applied": self.update_edges_applied,
+            "update_latency": self.update_latency.snapshot(),
             "pending": self.pending(),
             "inflight_keys": len(self._inflight),
             "dispatchers": tuple(self._dispatchers),

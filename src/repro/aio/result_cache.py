@@ -143,6 +143,17 @@ class ResultCache:
             self.invalidations += 1
         self._versions[name] = version
 
+    def note_mutation(self, name, version):
+        """Advance a graph's watermark eagerly after an applied update.
+
+        Lookups advance the watermark lazily from each key's version, so
+        correctness never depends on this call — but a streaming host
+        that just mutated a graph knows the stale entries are dead and
+        drops them now rather than letting them squat in the LRU until
+        the next query for that graph arrives.
+        """
+        self._advance_watermark(name, version)
+
     # ------------------------------------------------------------------
     # lookup / population
     # ------------------------------------------------------------------

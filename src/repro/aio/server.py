@@ -18,9 +18,20 @@ echoed back — or an operation object:
 ``{"op": "stats"}``
     Answers ``{"ok": true, "stats": {...}}`` with the serving tier's
     metrics: per-graph queue depths, coalesce/cache hit counters,
-    latency percentiles, server connection/request counters and the
-    underlying host's admission picture.  The same payload backs
-    ``repro info`` (see :func:`serving_stats`).
+    latency percentiles, update counters, server connection/request
+    counters and the underlying host's admission picture.  The same
+    payload backs ``repro info`` (see :func:`serving_stats`).
+
+``{"op": "update", "graph": ..., "add": [[layer, u, v], ...],
+"remove": [[layer, u, v], ...]}``
+    Applies one batched edge mutation to the named graph — atomic,
+    validated up front, one ``mutation_version`` tick — and answers
+    ``{"ok": true, "update": {...}}`` with the net applied counts and
+    the new version.  Ordering is the per-graph FIFO's: searches this
+    connection (or any other) got accepted before the update answer
+    against the old graph, later ones against the new one.  ``add`` /
+    ``remove`` are optional individually, but at least one edge must
+    be present between them.
 
 Responses carry ``seq`` (per-connection arrival number), the echoed
 ``id`` when one was given, and ``ok`` with either the result payload or
@@ -87,6 +98,33 @@ def format_response(number, request_id, result=None, error=None):
     response["cover"] = result.cover_size
     response["elapsed_s"] = round(result.elapsed, 6)
     return response
+
+
+def parse_update_edges(entry, field):
+    """The ``add``/``remove`` edge list of an update op, as tuples.
+
+    JSON has no tuples, so edges arrive as ``[layer, u, v]`` arrays;
+    anything else on the wire is a :class:`ProtocolError`, answered on
+    the request's own line.  Shared by both transports (``repro
+    serve``'s stdio loop and the socket server) so a malformed update
+    fails identically on either.
+    """
+    edges = entry.get(field) or []
+    if not isinstance(edges, list):
+        raise ProtocolError(
+            "update {!r} must be a list of [layer, u, v] triples, got "
+            "{!r}".format(field, edges)
+        )
+    parsed = []
+    for edge in edges:
+        if not isinstance(edge, list) or len(edge) != 3:
+            raise ProtocolError(
+                "update {!r} entries must be [layer, u, v] triples, got "
+                "{!r}".format(field, edge)
+            )
+        layer, u, v = edge
+        parsed.append((layer, u, v))
+    return tuple(parsed)
 
 
 def serving_stats(host, server=None):
@@ -389,11 +427,32 @@ class DCCServer:
                 self.responses_ok += 1
                 await connection.send(payload)
                 return
+            if entry.get("op") == "update":
+                name = entry.get("graph")
+                if not isinstance(name, str) or not name:
+                    raise ProtocolError(
+                        "update op needs a \"graph\" key naming an "
+                        "attached graph"
+                    )
+                add = parse_update_edges(entry, "add")
+                remove = parse_update_edges(entry, "remove")
+                if not add and not remove:
+                    raise ProtocolError(
+                        "update op needs a non-empty \"add\" and/or "
+                        "\"remove\" edge list"
+                    )
+                receipt = await self._ahost.update(name, add=add,
+                                                   remove=remove)
+                payload = {"seq": seq, "ok": True, "update": receipt}
+                if request_id is not None:
+                    payload["id"] = request_id
+                self.responses_ok += 1
+                await connection.send(payload)
+                return
             if "op" in entry:
                 raise ProtocolError(
-                    "unknown op {!r} (supported: \"stats\")".format(
-                        entry["op"]
-                    )
+                    "unknown op {!r} (supported: \"stats\", "
+                    "\"update\")".format(entry["op"])
                 )
             try:
                 name = entry.pop("graph")

@@ -121,6 +121,18 @@ def _cmd_info(args):
     print("engine_pool_spawned: {}".format(status["pool_spawned"]))
     print("engine_cache_enabled: {}".format(status["cache_enabled"]))
     print("engine_cache_entries: {}".format(status["cache_entries"]))
+    # Streaming-update picture: how rebinds after graph mutations split
+    # between CSR patching and full rebuilds, and what the selective
+    # cache invalidation kept.  All zero here (the info engine never
+    # mutates) — printed so the counter surface is discoverable.
+    print("engine_rebinds_patched: {}".format(status["rebinds_patched"]))
+    print("engine_rebinds_full: {}".format(status["rebinds_full"]))
+    print("engine_cache_invalidations_kept: {}".format(
+        status["cache_invalidations_kept"]
+    ))
+    print("engine_cache_invalidations_dropped: {}".format(
+        status["cache_invalidations_dropped"]
+    ))
     if args.shards is not None and args.shards > 1:
         # The shard picture a `--shards N` session over this graph would
         # serve with: per-shard sizes and halo widths (shard skew), and
@@ -184,6 +196,10 @@ def _cmd_info(args):
         serving["result_cache"]["ttl"]
     ))
     print("serve_latency_window: {}".format(serving["latency"]["window"]))
+    print("serve_updates_applied: {}".format(serving["updates_applied"]))
+    print("serve_update_edges_applied: {}".format(
+        serving["update_edges_applied"]
+    ))
     return 0
 
 
@@ -326,12 +342,45 @@ def _cmd_host(args):
                     host.attach(
                         name, _load_graph(source, args.scale, args.seed)
                     )
-                results = host.search_many(queries)
+                # Updates are sequence barriers: searches up to each one
+                # run as one pipelined search_many segment against the
+                # pre-update graph, then the mutation applies atomically
+                # and the next segment sees the new version.
+                results = []
+                segment = []
+
+                def flush():
+                    if segment:
+                        results.extend(host.search_many(segment))
+                        del segment[:]
+
+                for entry in queries:
+                    if entry.get("op") != "update":
+                        segment.append(entry)
+                        continue
+                    flush()
+                    target = host.graph(entry["graph"])
+                    delta = target.apply_delta(
+                        add=entry.get("add") or (),
+                        remove=entry.get("remove") or (),
+                    )
+                    results.append((delta, target.mutation_version))
+                flush()
                 status = host.info()
     except GraphError as error:
         print("host run failed: {}".format(error), file=sys.stderr)
         return 2
     for number, (spec, result) in enumerate(zip(queries, results), 1):
+        if spec.get("op") == "update":
+            delta, version = result
+            print(
+                "[{}] {}: update applied {} edge(s) -> version "
+                "{}".format(
+                    number, spec["graph"],
+                    0 if delta is None else delta.edge_count, version,
+                )
+            )
+            continue
         print(
             "[{}] {}: {} d={} s={} k={} -> {} d-CCs, cover {} vertices, "
             "{:.3f}s".format(
@@ -396,7 +445,10 @@ def _cmd_serve(args):
 
     Each request line is one JSON object — a search spec
     (``graph``/``d``/``s``/``k`` plus options) with an optional ``id``
-    echoed back, or ``{"op": "stats"}`` for the serving metrics.
+    echoed back, ``{"op": "stats"}`` for the serving metrics, or
+    ``{"op": "update", "graph": ..., "add"/"remove": [[layer, u, v],
+    ...]}`` to mutate an attached graph in place (one atomic batch;
+    later requests answer against the new graph).
     Requests are submitted concurrently as they arrive, so duplicates
     coalesce, repeats hit the cross-time result cache and per-graph
     batches pipeline; responses are written as they complete (use
@@ -474,6 +526,32 @@ def _cmd_serve(args):
                 if entry.get("op") == "stats":
                     payload = {"seq": number, "ok": True,
                                "stats": serving_stats(host)}
+                    if request_id is not None:
+                        payload["id"] = request_id
+                    served[0] += 1
+                    emit(payload)
+                    return
+                if entry.get("op") == "update":
+                    from repro.aio import parse_update_edges
+                    from repro.utils.errors import ProtocolError
+
+                    name = entry.get("graph")
+                    if not isinstance(name, str) or not name:
+                        raise ProtocolError(
+                            "update op needs a \"graph\" key naming an "
+                            "attached graph"
+                        )
+                    add = parse_update_edges(entry, "add")
+                    remove = parse_update_edges(entry, "remove")
+                    if not add and not remove:
+                        raise ProtocolError(
+                            "update op needs a non-empty \"add\" and/or "
+                            "\"remove\" edge list"
+                        )
+                    receipt = await host.update(name, add=add,
+                                                remove=remove)
+                    payload = {"seq": number, "ok": True,
+                               "update": receipt}
                     if request_id is not None:
                         payload["id"] = request_id
                     served[0] += 1

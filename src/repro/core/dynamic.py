@@ -87,10 +87,19 @@ class CoherentCoreTracker:
             # every outside vertex is untouched, so the core is stable.
             self.incremental_updates += 1
             return
-        # The core can only grow under insertion; recompute, seeded by
-        # monotonicity (the result contains the old core).
+        # The core can only grow under insertion, and every vertex it
+        # gains is reachable from an endpoint through the affected
+        # region, so recomputation restricted to ``old core ∪ region``
+        # is exact (see _affected_region for the proof sketch).
         self.recomputations += 1
-        self._core = coherent_core(self._graph, self._layers, self._d)
+        seed = self._core | self._affected_region(u, v)
+        new_core = coherent_core(self._graph, self._layers, self._d,
+                                 within=seed)
+        assert self._core <= new_core, (
+            "insertion shrank the tracked core — seeded recomputation "
+            "violated monotonicity"
+        )
+        self._core = new_core
 
     def remove_edge(self, layer, u, v):
         """Delete an edge and update the core incrementally."""
@@ -113,6 +122,39 @@ class CoherentCoreTracker:
         return self._core
 
     # ------------------------------------------------------------------
+
+    def _affected_region(self, u, v):
+        """Vertices the inserted edge ``(u, v)`` could pull into the core.
+
+        Let ``C'`` be the true core after insertion and ``D = C' \\ C``.
+        Deleting the edge back makes every vertex of ``C'`` except
+        possibly ``u``/``v`` degree-valid, so peeling ``C'`` in the old
+        graph cascades only from the endpoints — and the remainder is a
+        valid old-graph core, hence a subset of ``C``.  Every vertex of
+        ``D`` is therefore on a cascade path from an endpoint, and every
+        cascade vertex is in ``C'``, so its *full-graph* degree is at
+        least ``d`` on every tracked layer.  BFS from the endpoints
+        through such vertices thus covers ``D``, and restricting the
+        recomputation to ``C ∪ region`` is exact.
+        """
+        graph = self._graph
+        d = self._d
+
+        def qualifies(vertex):
+            return all(
+                graph.degree(layer, vertex) >= d for layer in self._layers
+            )
+
+        frontier = [w for w in (u, v) if qualifies(w)]
+        region = set(frontier)
+        while frontier:
+            vertex = frontier.pop()
+            for layer in self._layers:
+                for neighbor in graph.neighbors(layer, vertex):
+                    if neighbor not in region and qualifies(neighbor):
+                        region.add(neighbor)
+                        frontier.append(neighbor)
+        return region
 
     def _peel_within_core(self):
         """Exact shrink: peel the old core down to the new fixed point.

@@ -125,6 +125,8 @@ class DCCEngine:
         self._closed = False
         self.searches_served = 0
         self.invalidations = 0
+        self.rebinds_patched = 0
+        self.rebinds_full = 0
         self._bind()
 
     # ------------------------------------------------------------------
@@ -167,19 +169,72 @@ class DCCEngine:
         ) if self._cache_enabled else None
         self._arena = ScratchArena()
 
+    # Subclasses that rebuild fundamentally different per-graph state
+    # (the sharded engine re-partitions on every bind) opt out of the
+    # incremental path and always rebind fully.
+    _supports_delta_rebind = True
+
     def _rebind_if_stale(self):
         """Rebind when the source graph mutated; whether a rebind happened.
 
         The source graph mutating under the session means the frozen
         conversion, every cached artifact and the graphs held by the
         worker processes all describe a graph that no longer exists.
-        Rebind rather than ever answering stale.
+        When the graph can say *what* changed (a non-structural
+        :meth:`delta_since` against the bound version), the session is
+        patched in place — CSR layers re-frozen selectively, artifact
+        cache invalidated only where the delta touches, the delta (not
+        the graph) shipped to live workers.  Otherwise everything is
+        rebuilt from scratch.  Either way, stale is never answered.
         """
         if self._source.mutation_version == self._version:
             return False
-        self._pool.close()
         self.invalidations += 1
+        if self._try_delta_rebind():
+            self.rebinds_patched += 1
+            return True
+        self.rebinds_full += 1
+        self._pool.close()
         self._bind()
+        return True
+
+    def _try_delta_rebind(self):
+        """Patch the live session onto the mutated graph; whether it worked.
+
+        Requires the source to produce a non-structural delta covering
+        the versions since the last bind (vertex-set changes shift the
+        frozen dense-id assignment, so they always rebuild).  The worker
+        pool and scratch arena survive; the artifact cache keeps every
+        entry whose layer signature avoids the delta.
+        """
+        if not self._supports_delta_rebind:
+            return False
+        delta_since = getattr(self._source, "delta_since", None)
+        if delta_since is None:
+            return False
+        delta = delta_since(self._version)
+        if delta is None or delta.structural:
+            return False
+        with Timer() as overhead:
+            # For a frozen session this re-runs freeze(), which patches
+            # its cached CSR per the delta instead of rebuilding it.
+            search_graph, translate = resolve_search_graph(
+                self._source, self._backend
+            )
+        self._graph = search_graph
+        self._translate = translate
+        self._pending_overhead += overhead.elapsed
+        if search_graph.is_frozen:
+            self._active_kernel = search_graph.set_kernel(
+                self._kernel if self._kernel != "auto"
+                else search_graph.kernel
+            )
+        else:
+            self._active_kernel = None
+        self._pool.apply_delta(search_graph, delta)
+        if self._cache is not None:
+            self._cache.rebind(search_graph, delta.touched_layers())
+        self._version = self._source.mutation_version
         return True
 
     def _ensure_current(self):
@@ -333,7 +388,9 @@ class DCCEngine:
         """Pool and cache status for monitoring (and ``repro info``)."""
         cache_stats = self._cache.stats() if self._cache is not None else {
             "entries": 0, "hits": 0, "misses": 0, "evictions": 0,
-            "expirations": 0,
+            "expirations": 0, "layer_core_hits": 0,
+            "layer_core_misses": 0, "invalidations_kept": 0,
+            "invalidations_dropped": 0,
         }
         return {
             "backend": "frozen-csr" if self._graph.is_frozen
@@ -353,9 +410,20 @@ class DCCEngine:
             "cache_misses": cache_stats["misses"],
             "cache_evictions": cache_stats["evictions"],
             "cache_expirations": cache_stats["expirations"],
+            "cache_layer_core_hits": cache_stats["layer_core_hits"],
+            "cache_layer_core_misses": cache_stats["layer_core_misses"],
+            "cache_invalidations_kept": cache_stats["invalidations_kept"],
+            "cache_invalidations_dropped":
+                cache_stats["invalidations_dropped"],
             "memory_bytes": self.memory_bytes(),
             "scratch_reuses": self._arena.reuses,
             "invalidations": self.invalidations,
+            "rebinds_patched": self.rebinds_patched,
+            "rebinds_full": self.rebinds_full,
+            "freeze_patches": getattr(self._source, "freeze_patches", 0),
+            "freeze_rebuilds": getattr(self._source, "freeze_rebuilds", 0),
+            "pool_deltas_shipped": self._pool.deltas_shipped,
+            "pool_delta_respawns": self._pool.delta_respawns,
             "mutation_version": self._version,
             "closed": self._closed,
         }

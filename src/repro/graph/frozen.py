@@ -197,6 +197,52 @@ class FrozenMultiLayerGraph:
         return cls(labels, indptr, indices, edge_counts, layer_masks,
                    name=graph.name if name is None else name)
 
+    def patched(self, graph, touched_layers):
+        """A new frozen view with only ``touched_layers`` re-frozen.
+
+        ``graph`` must be the (mutated) source of this frozen graph with
+        an *unchanged vertex set* — the dense-id assignment is derived
+        from the sorted labels, so the caller (``MultiLayerGraph.freeze``)
+        only patches for non-structural deltas.  Untouched layers share
+        their CSR arrays with ``self`` (they are immutable); touched
+        layers are rebuilt exactly as :meth:`from_graph` would build
+        them, so the result is indistinguishable from a full re-freeze.
+        """
+        labels = self.labels
+        n = len(labels)
+        if type(labels) is range:
+            def vertex_id(label):
+                return label
+        else:
+            vertex_id = self._id_map().__getitem__
+        indptr = list(self._indptr)
+        indices = list(self._indices)
+        edge_counts = list(self._edge_counts)
+        layer_masks = list(self._layer_masks)
+        for layer in sorted(set(touched_layers)):
+            ptr = array("i", [0]) * (n + 1)
+            idx = array("i")
+            total = 0
+            bit = 1 << layer
+            for i, label in enumerate(labels):
+                neighbor_ids = sorted(
+                    vertex_id(u) for u in graph.neighbors(layer, label)
+                )
+                idx.extend(neighbor_ids)
+                total += len(neighbor_ids)
+                ptr[i + 1] = total
+                if neighbor_ids:
+                    layer_masks[i] |= bit
+                else:
+                    layer_masks[i] &= ~bit
+            indptr[layer] = ptr
+            indices[layer] = idx
+            edge_counts[layer] = total // 2
+        return type(self)(labels, indptr, indices, edge_counts, layer_masks,
+                          name=self.name,
+                          neighbor_set_cap=self._nbr_set_cap,
+                          kernel=self._kernel)
+
     def freeze(self, name=None):
         """Idempotent convenience — a frozen graph freezes to itself."""
         return self

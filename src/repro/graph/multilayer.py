@@ -26,7 +26,59 @@ search workloads; ``thaw()`` converts back.
 
 import sys
 
-from repro.utils.errors import LayerIndexError, ParameterError, VertexError
+from repro.graph.delta import GraphDelta, cancel_or_add, merge_entries
+from repro.utils.errors import (
+    EdgeError,
+    LayerIndexError,
+    ParameterError,
+    VertexError,
+)
+
+# How many mutation batches the delta log remembers.  A consumer whose
+# snapshot predates the oldest remembered batch gets ``None`` from
+# ``delta_since`` and falls back to a full rebuild, so the cap bounds
+# memory without ever affecting correctness.
+_DELTA_LOG_CAP = 64
+
+# ``freeze()`` patches its cached CSR conversion instead of rebuilding
+# it when at most this fraction of the layers changed — per-layer
+# rebuild work is identical either way, so the patch wins exactly when
+# untouched layers dominate.
+_PATCH_MAX_LAYER_FRACTION = 0.5
+
+
+class _MutationBatch:
+    """One ``with graph.update():`` scope; see :meth:`MultiLayerGraph.update`.
+
+    Records net edge events (with add/remove cancellation) and a
+    structural flag while open; on exit of the *outermost* scope the
+    graph's ``mutation_version`` ticks exactly once and the batch lands
+    in the delta log.  Nested scopes delegate to the outermost one.
+    """
+
+    __slots__ = ("_graph", "_owner", "added", "removed", "structural")
+
+    def __init__(self, graph):
+        self._graph = graph
+        self._owner = False
+        self.added = set()
+        self.removed = set()
+        self.structural = False
+
+    def __enter__(self):
+        if self._graph._batch is None:
+            self._graph._batch = self
+            self._owner = True
+        return self
+
+    def __exit__(self, *exc):
+        if self._owner:
+            self._graph._batch = None
+            # Commit even when the batch body raised: any mutations that
+            # did land must tick the version — a session snapshot must
+            # never survive a half-applied batch.
+            self._graph._commit_batch(self)
+        return False
 
 
 class MultiLayerGraph:
@@ -53,7 +105,8 @@ class MultiLayerGraph:
     """
 
     __slots__ = ("_adj", "_vertices", "_edge_counts", "_frozen_cache",
-                 "_vset_cache", "_version", "name")
+                 "_frozen_version", "_vset_cache", "_version", "_batch",
+                 "_delta_log", "freeze_patches", "freeze_rebuilds", "name")
 
     def __init__(self, num_layers, vertices=(), name=""):
         if num_layers < 1:
@@ -64,8 +117,13 @@ class MultiLayerGraph:
         self._adj = [dict() for _ in range(num_layers)]
         self._edge_counts = [0] * num_layers
         self._frozen_cache = None
+        self._frozen_version = -1
         self._vset_cache = None
         self._version = 0
+        self._batch = None
+        self._delta_log = []
+        self.freeze_patches = 0
+        self.freeze_rebuilds = 0
         self.name = name
         self.add_vertices(vertices)
 
@@ -139,20 +197,97 @@ class MultiLayerGraph:
     # mutation
     # ------------------------------------------------------------------
 
+    def update(self):
+        """Open a batched-mutation scope: one version tick per batch.
+
+        Every mutation inside the ``with`` block is recorded into one
+        :class:`~repro.graph.delta.GraphDelta` and ``mutation_version``
+        ticks exactly *once* when the outermost scope exits (not at all
+        if the batch nets out to a no-op), so a K-edge stream costs
+        session layers one rebind instead of K::
+
+            with graph.update():
+                graph.add_edge(0, "a", "b")
+                graph.remove_edge(1, "c", "d")
+
+        Scopes nest (the bulk mutators open one internally); only the
+        outermost commit ticks.  Reads inside an open batch see the
+        mutated adjacency, but version-gated caches (``freeze()``) treat
+        the batch as not-yet-happened until it commits.
+        """
+        return _MutationBatch(self)
+
+    def apply_delta(self, add=(), remove=()):
+        """Apply mixed edge inserts and deletes as one batch.
+
+        ``add`` and ``remove`` are iterables of ``(layer, u, v)``
+        triples.  Removals are validated (``EdgeError`` on a missing
+        edge) *before* any mutation is applied, so a rejected delta
+        never half-applies; insertions may create endpoints (which makes
+        the batch structural).  Returns the net
+        :class:`~repro.graph.delta.GraphDelta` recorded for the batch,
+        or ``None`` when it netted out to nothing.
+        """
+        add = [tuple(edge) for edge in add]
+        remove = [tuple(edge) for edge in remove]
+        # Validate the whole batch against a simulated overlay before
+        # touching the graph.  Adds apply before removes, so a removal
+        # may legally name an edge (or endpoint) the batch itself
+        # creates; duplicate removals of one edge are rejected.
+        overlay = {}
+        created = set()
+
+        def _edge_present(layer, u, v):
+            for key in ((layer, u, v), (layer, v, u)):
+                if key in overlay:
+                    return key, overlay[key]
+            present = (u in self._vertices and v in self._vertices
+                       and self.has_edge(layer, u, v))
+            return (layer, u, v), present
+
+        for layer, u, v in add:
+            self._check_layer(layer)
+            if u == v:
+                raise ParameterError(
+                    "self-loop ({0!r}, {0!r}) is not allowed".format(u))
+            created.add(u)
+            created.add(v)
+            key, _ = _edge_present(layer, u, v)
+            overlay[key] = True
+        for layer, u, v in remove:
+            self._check_layer(layer)
+            if u not in self._vertices and u not in created:
+                raise VertexError(u)
+            if v not in self._vertices and v not in created:
+                raise VertexError(v)
+            key, present = _edge_present(layer, u, v)
+            if not present:
+                raise EdgeError(layer, u, v)
+            overlay[key] = False
+        before = self._version
+        with self.update():
+            for layer, u, v in add:
+                self.add_edge(layer, u, v)
+            for layer, u, v in remove:
+                self.remove_edge(layer, u, v)
+        if self._version == before:
+            return None
+        return self.delta_since(before)
+
     def add_vertex(self, vertex):
         """Add ``vertex`` to every layer (isolated where no edges exist)."""
         if vertex not in self._vertices:
             self._vertices.add(vertex)
             for adj in self._adj:
                 adj[vertex] = set()
-            self._frozen_cache = None
-            self._version += 1
             self._vset_cache = None
+            self._record_structural()
 
     def add_vertices(self, vertices):
-        """Add every vertex from the iterable ``vertices``."""
-        for vertex in vertices:
-            self.add_vertex(vertex)
+        """Add every vertex from the iterable ``vertices`` (one batch)."""
+        with self.update():
+            for vertex in vertices:
+                self.add_vertex(vertex)
 
     def add_edge(self, layer, u, v):
         """Add the undirected edge ``(u, v)`` on ``layer``.
@@ -163,6 +298,14 @@ class MultiLayerGraph:
         self._check_layer(layer)
         if u == v:
             raise ParameterError("self-loop ({0!r}, {0!r}) is not allowed".format(u))
+        if self._batch is not None:
+            self._add_edge_batched(layer, u, v)
+        else:
+            # One version tick even when the edge creates its endpoints.
+            with self.update():
+                self._add_edge_batched(layer, u, v)
+
+    def _add_edge_batched(self, layer, u, v):
         self.add_vertex(u)
         self.add_vertex(v)
         neighbors = self._adj[layer][u]
@@ -170,27 +313,30 @@ class MultiLayerGraph:
             neighbors.add(v)
             self._adj[layer][v].add(u)
             self._edge_counts[layer] += 1
-            self._frozen_cache = None
-            self._version += 1
+            self._record_edge_added(layer, u, v)
 
     def add_edges(self, layer, edges):
-        """Add every ``(u, v)`` pair from ``edges`` on ``layer``."""
-        for u, v in edges:
-            self.add_edge(layer, u, v)
+        """Add every ``(u, v)`` pair from ``edges`` on ``layer`` (one batch)."""
+        with self.update():
+            for u, v in edges:
+                self.add_edge(layer, u, v)
 
     def remove_edge(self, layer, u, v):
-        """Remove the edge ``(u, v)`` from ``layer``; missing edges error."""
+        """Remove the edge ``(u, v)`` from ``layer``; missing edges error.
+
+        Validates *before* touching either adjacency set — a missing
+        edge raises :class:`~repro.utils.errors.EdgeError` with the
+        graph unchanged, never half-applied.
+        """
         self._check_layer(layer)
         self._check_vertex(u)
         self._check_vertex(v)
-        try:
-            self._adj[layer][u].remove(v)
-            self._adj[layer][v].remove(u)
-        except KeyError:
-            raise VertexError((u, v)) from None
+        if not self.has_edge(layer, u, v):
+            raise EdgeError(layer, u, v)
+        self._adj[layer][u].remove(v)
+        self._adj[layer][v].remove(u)
         self._edge_counts[layer] -= 1
-        self._frozen_cache = None
-        self._version += 1
+        self._record_edge_removed(layer, u, v)
 
     def remove_vertex(self, vertex):
         """Remove ``vertex`` and all its incident edges from every layer."""
@@ -201,14 +347,82 @@ class MultiLayerGraph:
             self._edge_counts[layer] -= len(adj[vertex])
             del adj[vertex]
         self._vertices.remove(vertex)
-        self._frozen_cache = None
         self._vset_cache = None
-        self._version += 1
+        self._record_structural()
 
     def remove_vertices(self, vertices):
-        """Remove every vertex in the iterable ``vertices``."""
-        for vertex in list(vertices):
-            self.remove_vertex(vertex)
+        """Remove every vertex in the iterable ``vertices`` (one batch)."""
+        with self.update():
+            for vertex in list(vertices):
+                self.remove_vertex(vertex)
+
+    # ------------------------------------------------------------------
+    # mutation bookkeeping (version ticks + the delta log)
+    # ------------------------------------------------------------------
+
+    def _record_edge_added(self, layer, u, v):
+        batch = self._batch
+        if batch is not None:
+            cancel_or_add(batch.added, batch.removed, layer, u, v)
+            return
+        self._version += 1
+        self._log_entry((self._version - 1, self._version,
+                         ((layer, u, v),), (), False))
+
+    def _record_edge_removed(self, layer, u, v):
+        batch = self._batch
+        if batch is not None:
+            cancel_or_add(batch.removed, batch.added, layer, u, v)
+            return
+        self._version += 1
+        self._log_entry((self._version - 1, self._version,
+                         (), ((layer, u, v),), False))
+
+    def _record_structural(self):
+        batch = self._batch
+        if batch is not None:
+            batch.structural = True
+            return
+        self._version += 1
+        self._log_entry((self._version - 1, self._version, (), (), True))
+
+    def _commit_batch(self, batch):
+        """Outermost-scope exit: tick once and log the net delta."""
+        if not (batch.added or batch.removed or batch.structural):
+            return
+        self._version += 1
+        self._log_entry((self._version - 1, self._version,
+                         tuple(batch.added), tuple(batch.removed),
+                         batch.structural))
+
+    def _log_entry(self, entry):
+        log = self._delta_log
+        log.append(entry)
+        if len(log) > _DELTA_LOG_CAP:
+            del log[:len(log) - _DELTA_LOG_CAP]
+
+    def delta_since(self, version):
+        """The merged :class:`GraphDelta` from ``version`` to now, or ``None``.
+
+        ``None`` means the history is unknown — ``version`` predates the
+        bounded delta log (or never existed) — and the caller must treat
+        the graph as arbitrarily changed (full rebuild).  A consumer
+        whose snapshot is current should not call this (the result for
+        ``version == mutation_version`` is an empty delta).
+        """
+        if version == self._version:
+            return GraphDelta(version, version)
+        if version > self._version or version < 0:
+            return None
+        log = self._delta_log
+        start = None
+        for index, entry in enumerate(log):
+            if entry[0] == version:
+                start = index
+                break
+        if start is None or log[-1][1] != self._version:
+            return None
+        return merge_entries(version, self._version, log[start:])
 
     # ------------------------------------------------------------------
     # queries
@@ -373,16 +587,45 @@ class MultiLayerGraph:
         dense integer vertex ids; ``thaw()`` round-trips back to an equal
         dict-backend graph.  Freeze once, search many times: every peeling
         primitive in :mod:`repro.core` takes a flat-array fast path on the
-        frozen representation.  The default-named result is cached and the
-        cache is invalidated by any mutation, so repeated searches over an
-        unchanged graph freeze only once.
+        frozen representation.
+
+        The default-named result is cached.  After a mutation the cached
+        CSR is *patched* instead of rebuilt when the recorded delta
+        allows it: non-structural (the vertex set — and hence the dense
+        id assignment — is unchanged) and touching at most
+        ``_PATCH_MAX_LAYER_FRACTION`` of the layers (per-layer CSR rows
+        are rebuilt wholesale either way, so patching pays off exactly
+        when untouched layers dominate).  A patched freeze is bitwise
+        identical to ``from_graph`` on the mutated graph; the
+        ``freeze_patches`` / ``freeze_rebuilds`` counters record which
+        path ran.
         """
         from repro.graph.frozen import FrozenMultiLayerGraph
 
         if name is not None:
             return FrozenMultiLayerGraph.from_graph(self, name=name)
-        if self._frozen_cache is None:
+        if self._batch is not None:
+            # Mid-batch: the version has not ticked yet, so the cache
+            # cannot tell this state apart from the pre-batch one.
+            return FrozenMultiLayerGraph.from_graph(self)
+        cached = self._frozen_cache
+        if cached is not None and self._frozen_version == self._version:
+            return cached
+        patched = None
+        if cached is not None:
+            delta = self.delta_since(self._frozen_version)
+            if delta is not None and not delta.structural:
+                touched = delta.touched_layers()
+                if (len(touched) <=
+                        _PATCH_MAX_LAYER_FRACTION * self.num_layers):
+                    patched = cached.patched(self, touched)
+        if patched is not None:
+            self._frozen_cache = patched
+            self.freeze_patches += 1
+        else:
             self._frozen_cache = FrozenMultiLayerGraph.from_graph(self)
+            self.freeze_rebuilds += 1
+        self._frozen_version = self._version
         return self._frozen_cache
 
     def memory_bytes(self):

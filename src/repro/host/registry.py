@@ -535,6 +535,20 @@ class DCCHost:
                 "cache_evictions": status["cache_evictions"],
                 "memory_bytes": status["memory_bytes"],
                 "invalidations": status["invalidations"],
+                # Streaming-update picture: patch-vs-rebuild rebinds,
+                # what the selective artifact invalidation kept, and
+                # how the source's freeze() amortised.
+                "rebinds_patched": status["rebinds_patched"],
+                "rebinds_full": status["rebinds_full"],
+                "cache_layer_core_hits": status["cache_layer_core_hits"],
+                "cache_layer_core_misses":
+                    status["cache_layer_core_misses"],
+                "cache_invalidations_kept":
+                    status["cache_invalidations_kept"],
+                "cache_invalidations_dropped":
+                    status["cache_invalidations_dropped"],
+                "freeze_patches": status["freeze_patches"],
+                "freeze_rebuilds": status["freeze_rebuilds"],
             }
             if "shards" in status:
                 # Sharded sessions: per-shard sizes, halo widths and

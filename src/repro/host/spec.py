@@ -18,7 +18,10 @@ run as one JSON document::
 ``graphs`` maps host-local names to graph *sources* (dataset names,
 ``figure1``, or graph-file paths — whatever the caller's loader
 accepts); ``queries`` is a list of :meth:`DCCHost.search_many` specs,
-each naming its graph.  Optional top-level settings
+each naming its graph.  A queries entry may also be a streaming
+mutation — ``{"op": "update", "graph": ..., "add": [[layer, u, v],
+...], "remove": [...]}`` — applied at its position in the sequence, so
+every later query answers against the mutated graph.  Optional top-level settings
 (:data:`SETTINGS_KEYS`) feed admission control, the async layer's
 backpressure, its cross-time result cache, the peel-kernel tier and the
 per-graph shard count; command-line flags override them.  Any *other*
@@ -108,6 +111,17 @@ def parse_host_spec(payload, require_queries=True):
         _require(name in graphs,
                  "query {} names graph {!r}, which the spec's \"graphs\" "
                  "object does not declare".format(number, name))
+        if entry.get("op") == "update":
+            # A streaming mutation riding the query list: applied in
+            # sequence position, so later queries see the new graph.
+            _require(entry.get("add") or entry.get("remove"),
+                     "update {} needs a non-empty \"add\" and/or "
+                     "\"remove\" edge list".format(number))
+            queries.append(entry)
+            continue
+        _require(entry.get("op") is None,
+                 "query {} has unknown op {!r} (only \"update\" may "
+                 "appear in a query list)".format(number, entry.get("op")))
         for key in ("d", "s", "k"):
             _require(key in entry,
                      "query {} is missing required key {!r}".format(

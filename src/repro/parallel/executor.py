@@ -21,7 +21,7 @@ import weakref
 from concurrent.futures import CancelledError, ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 
-from repro.parallel.serialize import graph_payload
+from repro.parallel.serialize import delta_payload, graph_payload
 from repro.parallel.worker import (
     QueryRunnerCache,
     init_persistent_worker,
@@ -33,6 +33,13 @@ from repro.utils.errors import ParameterError, WorkerCrashError
 # A hard ceiling on pool size: beyond this, per-process interpreter and
 # graph-deserialization overhead dominates any conceivable win.
 MAX_WORKERS = 64
+
+# How many delta patches may pile up between the spawn payload and the
+# current graph before the pool respawns from a fresh payload instead.
+# The chain rides along every task (a ProcessPoolExecutor cannot address
+# individual workers), so its pickled size — not correctness — is what
+# the cap bounds.
+MAX_DELTA_CHAIN = 8
 
 _SPAWN_ERRORS = (OSError, PermissionError, BrokenProcessPool)
 
@@ -197,9 +204,18 @@ class WorkerPool:
         self._closed = False
         self._ever_ran = False
         self._inline = QueryRunnerCache(graph)
+        # Streaming state: the epoch counts applied deltas, the chain
+        # holds the (epoch, delta payload) suffix a spawned worker may
+        # still need to catch up on, and _payload_epoch stamps which
+        # epoch the spawn payload captured.
+        self._epoch = 0
+        self._payload_epoch = 0
+        self._chain = []
         self.queries_served = 0
         self.tasks_executed = 0
         self.crashes = 0
+        self.deltas_shipped = 0
+        self.delta_respawns = 0
         _LIVE_POOLS.add(self)
 
     # ------------------------------------------------------------------
@@ -272,11 +288,13 @@ class WorkerPool:
         if self._pool is None and not self._broken and not self._closed:
             if self._payload is None:
                 self._payload = graph_payload(self.graph)
+                self._payload_epoch = self._epoch
+                self._chain = []
             try:
                 self._pool = ProcessPoolExecutor(
                     max_workers=self.workers,
                     initializer=init_persistent_worker,
-                    initargs=(self._payload,),
+                    initargs=(self._payload, self._payload_epoch),
                 )
             except _SPAWN_ERRORS:
                 self._mark_broken()
@@ -322,6 +340,43 @@ class WorkerPool:
             shutdown(wait=False, cancel_futures=True)
 
     # ------------------------------------------------------------------
+    # streaming deltas
+    # ------------------------------------------------------------------
+
+    def apply_delta(self, new_graph, delta):
+        """Retarget the pool at a post-delta graph without respawning.
+
+        The inline runner cache rebinds immediately; live worker
+        processes catch up lazily — the patch joins the delta chain that
+        rides along every task, and each worker applies the suffix it
+        has not seen yet (:func:`~repro.parallel.worker._sync_to_epoch`)
+        on its next task.  Past :data:`MAX_DELTA_CHAIN` pending patches
+        the pool shuts its processes down instead and the next query
+        respawns them from a fresh payload of the new graph — the same
+        cost profile as a classic full rebind, taken once per ~chain-cap
+        deltas instead of per delta.
+        """
+        old_graph = self.graph
+        self.graph = new_graph
+        self._inline = QueryRunnerCache(new_graph)
+        self._epoch += 1
+        if self._pool is None:
+            # No live processes to patch: forget any staged payload so
+            # the next spawn serializes the new graph directly.
+            self._payload = None
+            self._chain = []
+            return
+        if len(self._chain) >= MAX_DELTA_CHAIN:
+            self._shutdown_pool()
+            self._payload = None
+            self._chain = []
+            self.delta_respawns += 1
+            return
+        self._chain.append((self._epoch, delta_payload(old_graph,
+                                                       new_graph, delta)))
+        self.deltas_shipped += 1
+
+    # ------------------------------------------------------------------
     # per-search submission
     # ------------------------------------------------------------------
 
@@ -342,7 +397,10 @@ class WorkerPool:
             # Worker processes are spawned lazily (at submit time on
             # CPython), so a sandbox that denies fork()/clone() surfaces
             # as OSError or a broken pool here, not in the constructor.
-            futures = [pool.submit(run_query_shard, (query, task))
+            epoch = self._epoch
+            chain = tuple(self._chain)
+            futures = [pool.submit(run_query_shard,
+                                   (query, task, epoch, chain))
                        for task in tasks]
         except _SPAWN_ERRORS as error:
             if self._ever_ran:

@@ -97,3 +97,71 @@ def payload_graph(payload):
             graph.add_edge(layer, u, v)
         return graph
     raise ValueError("unknown graph payload kind {!r}".format(kind))
+
+
+def delta_payload(old_graph, new_graph, delta):
+    """A picklable patch bringing a worker's ``old_graph`` to ``new_graph``.
+
+    The streaming counterpart of :func:`graph_payload`: after a
+    non-structural :class:`~repro.graph.delta.GraphDelta`, the engine
+    ships only what changed instead of re-shipping the graph.  For the
+    frozen backend that is the touched layers' CSR arrays plus the
+    layer-bitmask diff (untouched layers are shared by reference on the
+    worker side exactly as they are on the orchestrator's); for the dict
+    backend it is the net edge lists themselves.
+
+    Only valid for non-structural deltas — the caller
+    (:meth:`WorkerPool.apply_delta`) never sees a structural one, since
+    those force a full session rebind.
+    """
+    if getattr(new_graph, "is_frozen", False):
+        touched = sorted(delta.touched_layers())
+        layers_data = {
+            layer: (new_graph._indptr[layer], new_graph._indices[layer],
+                    new_graph._edge_counts[layer])
+            for layer in touched
+        }
+        mask_updates = [
+            (vid, new_mask)
+            for vid, (old_mask, new_mask) in enumerate(
+                zip(old_graph._layer_masks, new_graph._layer_masks))
+            if old_mask != new_mask
+        ]
+        return ("csr-patch", layers_data, mask_updates)
+    return ("edge-patch", tuple(delta.edges_added),
+            tuple(delta.edges_removed))
+
+
+def apply_delta_payload(graph, payload):
+    """Apply a :func:`delta_payload` to a worker-side graph.
+
+    Returns the post-delta graph: a *new* frozen view for a CSR patch
+    (frozen graphs are immutable), the same object mutated in place for
+    a dict edge patch.
+    """
+    kind = payload[0]
+    if kind == "csr-patch":
+        _, layers_data, mask_updates = payload
+        indptr = list(graph._indptr)
+        indices = list(graph._indices)
+        edge_counts = list(graph._edge_counts)
+        layer_masks = list(graph._layer_masks)
+        for layer, (ptr, idx, count) in layers_data.items():
+            indptr[layer] = ptr
+            indices[layer] = idx
+            edge_counts[layer] = count
+        for vid, mask in mask_updates:
+            layer_masks[vid] = mask
+        return FrozenMultiLayerGraph(
+            graph.labels, indptr, indices, edge_counts, layer_masks,
+            name=graph.name, kernel=graph.kernel,
+        )
+    if kind == "edge-patch":
+        _, added, removed = payload
+        with graph.update():
+            for layer, u, v in added:
+                graph.add_edge(layer, u, v)
+            for layer, u, v in removed:
+                graph.remove_edge(layer, u, v)
+        return graph
+    raise ValueError("unknown delta payload kind {!r}".format(kind))

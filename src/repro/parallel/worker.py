@@ -37,7 +37,7 @@ from repro.core.index import CoreHierarchyIndex
 from repro.core.stats import SearchStats
 from repro.core.topdown import _TopDownSearch
 from repro.parallel.plan import plan_query
-from repro.parallel.serialize import payload_graph
+from repro.parallel.serialize import apply_delta_payload, payload_graph
 from repro.utils.rng import make_rng
 
 # Per-process cap on cached query contexts.  Eight comfortably covers a
@@ -280,20 +280,24 @@ class QueryRunnerCache:
 # ----------------------------------------------------------------------
 
 _RUNNERS = None
+_EPOCH = 0
 
 
-def init_persistent_worker(payload):
+def init_persistent_worker(payload, epoch=0):
     """Pool initializer: deserialize the graph once per worker process.
 
     Everything else a query needs is derived (and cached) lazily per
     query signature by :func:`run_query_shard`; the peel kernels
     additionally get a process-local scratch arena, the worker-side half
-    of the engine's buffer reuse.
+    of the engine's buffer reuse.  ``epoch`` stamps which state of a
+    *mutable* source graph the payload captured — see
+    :func:`_sync_to_epoch`.
     """
-    global _RUNNERS
+    global _RUNNERS, _EPOCH
     from repro.graph.frozen import ScratchArena, activate_scratch
 
     _RUNNERS = QueryRunnerCache(payload_graph(payload))
+    _EPOCH = epoch
     activate_scratch(ScratchArena())
 
 
@@ -302,12 +306,39 @@ def ping_worker():
     return _RUNNERS is not None
 
 
+def _sync_to_epoch(epoch, chain):
+    """Catch this worker's graph up to ``epoch`` by applying delta patches.
+
+    ``chain`` is the pool's ``(epoch, delta payload)`` history; entries
+    at or below this worker's current epoch were already applied (or
+    were baked into its initializer payload) and are skipped.  A
+    :class:`ProcessPoolExecutor` cannot address individual workers, so
+    the pool rides the chain along every task and each worker fast-syncs
+    exactly once per delta.  The runner cache is rebuilt — contexts
+    derived from the old graph are unsound against the new one.
+    """
+    global _RUNNERS, _EPOCH
+    graph = _RUNNERS.graph
+    for entry_epoch, payload in chain:
+        if entry_epoch > _EPOCH:
+            graph = apply_delta_payload(graph, payload)
+            _EPOCH = entry_epoch
+    if _EPOCH != epoch:
+        raise RuntimeError(
+            "worker stuck at graph epoch {} but the task wants {}; the "
+            "delta chain lost an entry".format(_EPOCH, epoch)
+        )
+    _RUNNERS = QueryRunnerCache(graph)
+
+
 def run_query_shard(item):
-    """Pool task entry point: ``(query, task)`` → shard result.
+    """Pool task entry point: ``(query, task, epoch, chain)`` → shard result.
 
     Requires :func:`init_persistent_worker` to have run.
     """
     if _RUNNERS is None:
         raise RuntimeError("worker process was not initialised")
-    query, task = item
+    query, task, epoch, chain = item
+    if epoch != _EPOCH:
+        _sync_to_epoch(epoch, chain)
     return _RUNNERS.runner(query).run(task)

@@ -84,6 +84,14 @@ class ShardedEngine(DCCEngine):
     # lifecycle
     # ------------------------------------------------------------------
 
+    # Every rebind re-partitions the graph, and shard executors hold
+    # CSR slices a layer-wise delta cannot be mapped onto cheaply, so
+    # the sharded session always rebinds fully.  It still profits from
+    # streaming mutation indirectly: resolve_search_graph below runs
+    # the source's freeze(), which patches its cached CSR per the
+    # recorded delta instead of rebuilding all layers.
+    _supports_delta_rebind = False
+
     def _bind(self):
         """Resolve to frozen, partition, and serve the sharded view.
 

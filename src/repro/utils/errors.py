@@ -22,6 +22,27 @@ class VertexError(GraphError, KeyError):
         return "vertex {!r} is not in the graph".format(self.vertex)
 
 
+class EdgeError(GraphError, KeyError):
+    """Raised when an operation references an edge not in the graph.
+
+    Carries the full ``(layer, u, v)`` identity so a rejected wire
+    update can be reported precisely.  The raising mutator validates
+    *before* touching any adjacency set, so an operation that raises
+    this has not half-applied.
+    """
+
+    def __init__(self, layer, u, v):
+        super().__init__((layer, u, v))
+        self.layer = layer
+        self.u = u
+        self.v = v
+
+    def __str__(self):
+        return "edge ({!r}, {!r}) is not in layer {}".format(
+            self.u, self.v, self.layer
+        )
+
+
 class LayerIndexError(GraphError, IndexError):
     """Raised when a layer index is outside ``range(num_layers)``."""
 

@@ -7,7 +7,7 @@ from hypothesis import strategies as st
 from repro.core.dcc import coherent_core
 from repro.core.dynamic import CoherentCoreTracker
 from repro.graph import MultiLayerGraph, replicate_layer
-from repro.utils.errors import ParameterError
+from repro.utils.errors import EdgeError, ParameterError
 from tests.strategies import multilayer_graphs
 
 
@@ -88,6 +88,20 @@ class TestInsertion:
         assert refreshed == coherent_core(tracker.graph, [0, 1], 2)
 
 
+class TestErrorPaths:
+    def test_remove_edge_wrong_layer_raises_edge_error(self):
+        g = MultiLayerGraph(2, vertices=range(3))
+        g.add_edge(0, 0, 1)
+        g.add_edge(0, 1, 2)
+        g.add_edge(0, 0, 2)
+        tracker = CoherentCoreTracker(g, [0], 2)
+        before = tracker.core
+        with pytest.raises(EdgeError):
+            tracker.remove_edge(1, 0, 1)  # edge lives on layer 0 only
+        assert tracker.core == before
+        tracker.check()
+
+
 class TestRandomisedAgainstScratch:
     @given(
         multilayer_graphs(max_vertices=8, max_layers=3),
@@ -124,3 +138,46 @@ class TestRandomisedAgainstScratch:
             assert tracker.core == coherent_core(
                 tracker.graph, layers, d
             )
+
+    @given(
+        multilayer_graphs(max_vertices=8, max_layers=3),
+        st.integers(min_value=1, max_value=3),
+        st.lists(
+            st.tuples(
+                st.booleans(),            # insert or delete
+                st.integers(min_value=0, max_value=2),   # layer
+                st.integers(min_value=0, max_value=7),   # u
+                st.integers(min_value=0, max_value=7),   # v
+            ),
+            max_size=12,
+        ),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_stream_invariants_hold_each_step(self, graph, d, updates):
+        """Interleaved stream: per-step check(), rejected ops harmless.
+
+        Unlike the scratch comparison above, this property drives the
+        tracker's *own* consistency check after every step and verifies
+        that a removal of a missing edge raises :class:`EdgeError`
+        without disturbing either the graph copy or the cached core.
+        """
+        layers = list(range(min(2, graph.num_layers)))
+        tracker = CoherentCoreTracker(graph, layers, d)
+        vertices = sorted(tracker.graph.vertices(), key=str)
+        for insert, layer, u, v in updates:
+            layer %= graph.num_layers
+            u, v = vertices[u % len(vertices)], vertices[v % len(vertices)]
+            if u == v:
+                continue
+            if insert:
+                tracker.add_edge(layer, u, v)
+            elif tracker.graph.has_edge(layer, u, v):
+                tracker.remove_edge(layer, u, v)
+            else:
+                core_before = tracker.core
+                version_before = tracker.graph.mutation_version
+                with pytest.raises(EdgeError):
+                    tracker.remove_edge(layer, u, v)
+                assert tracker.core == core_before
+                assert tracker.graph.mutation_version == version_before
+            tracker.check()

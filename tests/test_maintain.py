@@ -3,7 +3,7 @@
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.core.dcore import d_core
+from repro.core.dcore import d_core, layer_core
 from repro.core.maintain import MultiLayerCoreMaintainer
 from repro.core.stats import SearchStats
 from repro.graph import MultiLayerGraph
@@ -86,6 +86,54 @@ class TestMaintainer:
                     graph.adjacency(layer), d, within=m.alive
                 )
         m.check_consistency()
+
+    @given(
+        multilayer_graphs(max_vertices=9, max_layers=3),
+        st.integers(min_value=0, max_value=4),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_seeded_matches_unseeded(self, graph, d):
+        """Seeding from precomputed layer cores changes nothing observable.
+
+        The engine's selective artifact cache hands surviving per-layer
+        cores back to the maintainer after a delta; the seeded maintainer
+        must be indistinguishable from a cold one — same cores, alive set,
+        support table, and (by contract) the same ``dcc_calls`` charge.
+        """
+        seeds = {
+            layer: layer_core(graph, layer, d)
+            for layer in graph.layers()
+        }
+        cold_stats, seeded_stats = SearchStats(), SearchStats()
+        cold = MultiLayerCoreMaintainer(graph, d, stats=cold_stats)
+        seeded = MultiLayerCoreMaintainer(
+            graph, d, stats=seeded_stats, seed_cores=seeds
+        )
+        assert seeded.alive == cold.alive
+        assert seeded.support == cold.support
+        for layer in graph.layers():
+            assert seeded.cores[layer] == cold.cores[layer]
+        assert seeded_stats.dcc_calls == cold_stats.dcc_calls
+        seeded.check_consistency()
+
+    @given(
+        multilayer_graphs(max_vertices=9, max_layers=3),
+        st.integers(min_value=1, max_value=3),
+        st.lists(st.integers(min_value=0, max_value=8), max_size=10),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_removal_stream_consistent_each_step(self, graph, d, removals):
+        """check_consistency() holds after *every* step of a removal stream."""
+        m = MultiLayerCoreMaintainer(graph, d)
+        vertices = sorted(graph.vertices())
+        for index in removals:
+            if not vertices:
+                break
+            victim = vertices[index % len(vertices)]
+            m.remove([victim])
+            vertices.remove(victim)
+            assert victim not in m.alive
+            m.check_consistency()
 
     @given(multilayer_graphs(max_vertices=9, max_layers=3))
     @settings(max_examples=40, deadline=None)

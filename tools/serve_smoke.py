@@ -10,10 +10,18 @@ What CI proves with this script, end to end over a real TCP socket:
    (timing fields aside) — the network-level determinism contract;
 3. the cross-time result cache actually served: the `stats` protocol
    op reports non-zero cache hits for the repeated specs;
-4. SIGINT drains and exits cleanly (exit code 0).
+4. streaming updates hold up end to end: an interleaved
+   query/update/query client mutates a served graph through the
+   `{"op": "update"}` protocol op, every post-update answer matches a
+   fresh `DCCHost` built over an identically mutated graph (the
+   rebind-the-world baseline), reverting the mutation restores the
+   pre-update payload byte for byte, and the `stats` op reports the
+   applied batches;
+5. SIGINT drains and exits cleanly (exit code 0).
 
-Stdlib only, so the smoke runs on a bare checkout: no pytest, no
-dependencies — `python tools/serve_smoke.py` from the repo root.
+No third-party dependencies (the streaming baseline imports the
+in-tree `repro` package), so the smoke runs on a bare checkout: no
+pytest — `python tools/serve_smoke.py` from the repo root.
 """
 
 import asyncio
@@ -90,6 +98,92 @@ def comparable(response):
     return payload
 
 
+# ----------------------------------------------------------------------
+# streaming phase: interleaved updates + queries vs fresh-host baseline
+# ----------------------------------------------------------------------
+
+STREAM_QUERY = {"graph": "quickstart", "d": 2, "s": 2, "k": 2,
+                "method": "greedy"}
+# Must match start_server's CLI flags: the fresh-host baseline rebuilds
+# the served graph with the exact same loader arguments.
+SERVE_SCALE, SERVE_SEED = 0.1, 0
+
+
+def _repro():
+    """Import the in-tree package (baseline only; clients stay pure)."""
+    path = os.path.join(ROOT, "src")
+    if path not in sys.path:
+        sys.path.insert(0, path)
+
+
+def stream_updates():
+    """A remove-then-restore update script over a real served edge."""
+    _repro()
+    from repro.cli import _load_graph
+
+    probe = _load_graph("figure1", SERVE_SCALE, SERVE_SEED)
+    vertices = sorted(probe.vertices(), key=repr)
+    u, v = next((a, b) for a in vertices for b in vertices
+                if repr(a) < repr(b) and probe.has_edge(0, a, b))
+    return [
+        {"op": "update", "graph": "quickstart", "remove": [[0, u, v]]},
+        {"op": "update", "graph": "quickstart", "add": [[0, u, v]]},
+    ]
+
+
+def fresh_host_baseline(updates):
+    """The rebind-the-world answer: cold host over a pre-mutated graph."""
+    _repro()
+    from repro.aio import format_response
+    from repro.cli import _load_graph
+    from repro.host import DCCHost
+
+    graph = _load_graph("figure1", SERVE_SCALE, SERVE_SEED)
+    for update in updates:
+        graph.apply_delta(
+            add=[tuple(edge) for edge in update.get("add", [])],
+            remove=[tuple(edge) for edge in update.get("remove", [])],
+        )
+    with DCCHost() as host:
+        host.attach("quickstart", graph)
+        result = host.search_many([dict(STREAM_QUERY)])[0]
+    return comparable(format_response(0, None, result=result))
+
+
+async def run_stream_phase(port):
+    updates = stream_updates()
+    reader, writer = await asyncio.open_connection("127.0.0.1", port,
+                                                   limit=1 << 20)
+
+    async def ask(payload):
+        writer.write((json.dumps(payload) + "\n").encode())
+        await writer.drain()
+        return json.loads(await reader.readline())
+
+    before = await ask(dict(STREAM_QUERY, id="s-before"))
+    removed = await ask(dict(updates[0], id="s-remove"))
+    mid = await ask(dict(STREAM_QUERY, id="s-mid"))
+    restored = await ask(dict(updates[1], id="s-restore"))
+    after = await ask(dict(STREAM_QUERY, id="s-after"))
+    writer.close()
+    await writer.wait_closed()
+
+    for response in (before, removed, mid, restored, after):
+        assert response["ok"], \
+            "streaming step failed: {!r}".format(response)
+    assert removed["update"]["applied"] == 1, removed
+    assert restored["update"]["applied"] == 1, restored
+    # Post-update answers must match a cold host over an identically
+    # mutated graph — the long-lived server's caches may not leak
+    # pre-update state across the mutation.
+    assert comparable(before) == fresh_host_baseline([]), \
+        "pre-update answer deviates from fresh host"
+    assert comparable(mid) == fresh_host_baseline(updates[:1]), \
+        "post-update answer deviates from fresh host over mutated graph"
+    assert comparable(after) == comparable(before), \
+        "reverting the update did not restore the original answer"
+
+
 async def smoke(port):
     per_client = await asyncio.gather(*(
         run_client(port, "c{}".format(tag)) for tag in range(CLIENTS)
@@ -114,6 +208,13 @@ async def smoke(port):
     assert hits > 0 and cached > 0, \
         "repeated specs never hit the result cache: {!r}".format(
             stats["serving"]["result_cache"])
+    await run_stream_phase(port)
+    stats = await fetch_stats(port)
+    assert stats["serving"]["updates_applied"] == 2, \
+        "stats op lost the applied update batches: {!r}".format(
+            stats["serving"].get("updates_applied"))
+    assert stats["serving"]["update_latency"]["count"] == 2, \
+        "update latency went unrecorded"
     return stats
 
 
@@ -133,9 +234,11 @@ def main():
         raise SystemExit("server did not drain and exit on SIGINT")
     assert code == 0, "server exited {} after SIGINT".format(code)
     print("serve smoke: {} clients x {} requests OK | cache hits {} | "
+          "streaming updates applied {} (fresh-host equivalent) | "
           "server counters {}".format(
               CLIENTS, len(REQUESTS),
               stats["serving"]["result_cache"]["hits"],
+              stats["serving"]["updates_applied"],
               stats["server"]))
     return 0
 
